@@ -1,0 +1,99 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the rows/series the paper reports
+// plus shape checks (who wins, by what factor, where crossovers fall).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig12
+//	experiments -run all -quick -out artifacts/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick = flag.Bool("quick", false, "shrink trace durations ~8x")
+		seed  = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
+		out   = flag.String("out", "", "directory for TSV artifacts (optional)")
+		plot  = flag.Bool("plot", false, "draw figure series as terminal charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-9s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, OutputDir: *out}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *plot {
+			printPlots(rep)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing checks\n", failed)
+		os.Exit(2)
+	}
+}
+
+// printPlots renders every recorded series table of a report. Stability
+// curves get log-log axes; histogram tables get bars; everything else a
+// linear chart, downsampled by the renderer's grid.
+func printPlots(rep *experiments.Report) {
+	names := make([]string, 0, len(rep.Tables))
+	for name := range rep.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tab := rep.Tables[name]
+		title := fmt.Sprintf("%s / %s", rep.ID, name)
+		var chart string
+		var err error
+		switch {
+		case strings.HasPrefix(name, "hist"):
+			chart, err = render.Histogram(tab, title, 50)
+		case rep.ID == "fig3":
+			chart, err = render.Chart(tab, title, render.Options{LogX: true, LogY: true})
+		default:
+			chart, err = render.Chart(tab, title, render.Options{})
+		}
+		if err != nil {
+			fmt.Printf("(plot %s: %v)\n", name, err)
+			continue
+		}
+		fmt.Println(chart)
+	}
+}

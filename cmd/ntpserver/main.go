@@ -1,0 +1,44 @@
+// Command ntpserver runs the bundled minimal stratum-1 NTP server,
+// stamping requests from the OS clock. It answers standard client-mode
+// NTP packets, so both this repository's synchronizer and ordinary NTP
+// clients can use it.
+//
+// Usage:
+//
+//	ntpserver -listen 127.0.0.1:1123 -refid GPS
+//
+// (Binding the privileged default port 123 requires root.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/ntp"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:1123", "UDP address to listen on")
+		refid  = flag.String("refid", "GPS", "reference identifier to advertise")
+	)
+	flag.Parse()
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := ntp.NewServer(ntp.ServerConfig{
+		Clock: ntp.SystemServerClock(),
+		RefID: ntp.RefIDFromString(*refid),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stratum-1 NTP server (refid %s) listening on %s\n", *refid, pc.LocalAddr())
+	if err := srv.Serve(pc); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Command tracegen generates simulated exchange traces and saves them in
+// the binary capture format, for offline replay through the estimators
+// (see cmd/tscd -mode replay). This mirrors the paper's methodology:
+// collect raw timestamp data continuously, post-process repeatedly.
+//
+// Usage:
+//
+//	tracegen -env MR -srv ServerInt -days 21 -poll 16 -seed 7 -o mrint.tsctrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/capture"
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+func main() {
+	var (
+		env  = flag.String("env", "MR", "environment: Lab or MR")
+		srv  = flag.String("srv", "ServerInt", "server: ServerLoc, ServerInt, ServerExt")
+		days = flag.Float64("days", 1, "duration in days")
+		poll = flag.Float64("poll", 16, "polling period in seconds")
+		seed = flag.Uint64("seed", 1, "deterministic seed")
+		loss = flag.Float64("loss", 0.0015, "per-exchange loss probability")
+		out  = flag.String("o", "trace.tsctrc", "output file")
+	)
+	flag.Parse()
+
+	var e sim.Environment
+	switch *env {
+	case "Lab":
+		e = sim.Laboratory
+	case "MR":
+		e = sim.MachineRoom
+	default:
+		log.Fatalf("unknown environment %q", *env)
+	}
+	var spec sim.ServerSpec
+	switch *srv {
+	case "ServerLoc":
+		spec = sim.ServerLoc()
+	case "ServerInt":
+		spec = sim.ServerInt()
+	case "ServerExt":
+		spec = sim.ServerExt()
+	default:
+		log.Fatalf("unknown server %q", *srv)
+	}
+
+	sc := sim.NewScenario(e, spec, *poll, *days*timebase.Day, *seed)
+	sc.LossProb = *loss
+	tr, err := sim.Generate(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := capture.SaveTrace(*out, tr, fmt.Sprintf("tracegen %s %gd poll %gs", sc.Name, *days, *poll))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d exchanges (%d lost) to %s\n", n, tr.LossCount(), *out)
+}

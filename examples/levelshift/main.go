@@ -1,0 +1,86 @@
+// Level-shift robustness demo (the paper's Section 6.2 / Figure 11c-d):
+// a route change moves the path's minimum delay mid-run. Downward shifts
+// are absorbed instantly (congestion cannot fake them); upward shifts
+// are indistinguishable from congestion at small scales and are detected
+// only after sustained evidence over the window T_s, after which the
+// filter re-bases and estimation continues.
+//
+// The program injects one of each, prints the detector's behaviour, and
+// shows the offset error before and after, including the unavoidable
+// jump by half the asymmetry change when the shift is one-directional.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tscclock "repro"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+)
+
+func main() {
+	const poll = 16.0
+	dur := 3 * timebase.Day
+	upAt, downAt := 1*timebase.Day, 2*timebase.Day
+
+	scenario := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), poll, dur, 5)
+	// Upward: +0.9 ms in the forward direction only (asymmetry changes).
+	scenario.Server.Forward.Shifts = []netem.Shift{{At: upAt, Delta: 0.9 * timebase.Millisecond}}
+	// Downward: −0.3 ms in both directions (asymmetry preserved).
+	scenario.Server.Forward.Shifts = append(scenario.Server.Forward.Shifts,
+		netem.Shift{At: downAt, Delta: -0.3 * timebase.Millisecond})
+	scenario.Server.Backward.Shifts = []netem.Shift{{At: downAt, Delta: -0.3 * timebase.Millisecond}}
+
+	tr, err := sim.Generate(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock, err := tscclock.New(tscclock.Options{NominalPeriod: 1.0 / 548655270, PollPeriod: poll})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var phase1, phase2, phase3 []float64 // offset error per epoch
+	for _, e := range tr.Completed() {
+		st, err := clock.ProcessNTPExchange(e.Ta, e.Tf, e.Tb, e.Te)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.UpwardShiftDetected {
+			fmt.Printf("upward shift detected at t=%s (shift injected at %s, detection window Ts=%s)\n",
+				timebase.FormatDuration(e.TrueTf), timebase.FormatDuration(upAt),
+				timebase.FormatDuration(2500))
+		}
+		// Absolute clock error against the DAG reference (positive =
+		// clock reads ahead of true time).
+		errNow := clock.AbsoluteTime(e.Tf) - e.Tg
+		switch {
+		case e.TrueTf > 6*timebase.Hour && e.TrueTf < upAt:
+			phase1 = append(phase1, errNow)
+		case e.TrueTf > upAt+3*timebase.Hour && e.TrueTf < downAt:
+			phase2 = append(phase2, errNow)
+		case e.TrueTf > downAt+3*timebase.Hour:
+			phase3 = append(phase3, errNow)
+		}
+	}
+
+	fmt.Printf("\nfinal min-RTT estimate: %s (true: %s)\n",
+		timebase.FormatDuration(clock.MinRTT()),
+		timebase.FormatDuration(scenario.Server.MinRTT()+0.9*timebase.Millisecond-0.6*timebase.Millisecond))
+
+	report := func(name string, errs []float64) {
+		fmt.Printf("%-28s median %-10s IQR %s\n", name,
+			timebase.FormatDuration(stats.Median(errs)),
+			timebase.FormatDuration(stats.IQR(errs)))
+	}
+	report("before shifts:", phase1)
+	report("after upward (+0.9ms fwd):", phase2)
+	report("after symmetric downward:", phase3)
+
+	fmt.Println("\nthe one-way upward shift moves the median by ≈ Δshift/2 = 450µs — the")
+	fmt.Println("fundamental asymmetry ambiguity, not an estimation failure; the")
+	fmt.Println("symmetric downward shift leaves accuracy untouched and needs no action")
+}

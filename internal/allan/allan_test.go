@@ -1,0 +1,180 @@
+package allan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDeviationErrors(t *testing.T) {
+	x := make([]float64, 10)
+	if _, err := Deviation(x, 0, 1); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := Deviation(x, 1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Deviation(x, 1, 5); err == nil {
+		t.Error("series too short accepted")
+	}
+	if _, err := Deviation(x, 1, 4); err != nil {
+		t.Errorf("valid call rejected: %v", err)
+	}
+}
+
+func TestWhitePhaseNoiseScaling(t *testing.T) {
+	// For white phase noise of std σ_x, the Allan deviation scales as
+	// sqrt(3)·σ_x/τ — the 1/τ zone of the paper's Figure 3.
+	src := rng.New(1)
+	const sigma = 10e-6
+	const tau0 = 16.0
+	x := make([]float64, 200000)
+	for i := range x {
+		x[i] = src.Normal(0, sigma)
+	}
+	for _, m := range []int{1, 4, 16, 64} {
+		p, err := Deviation(x, tau0, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Sqrt(3) * sigma / p.Tau
+		if ratio := p.Deviation / want; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("m=%d: deviation %v, want ~%v (ratio %v)", m, p.Deviation, want, ratio)
+		}
+	}
+}
+
+func TestConstantSkewInvisible(t *testing.T) {
+	// A pure linear trend (constant skew) contributes nothing to the
+	// Allan deviation: second differences of a line vanish.
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 5e-5 * float64(i) // 50 PPM at tau0=1
+	}
+	p, err := Deviation(x, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Deviation > 1e-15 {
+		t.Errorf("linear trend produced deviation %v", p.Deviation)
+	}
+}
+
+func TestRandomWalkFrequencyScaling(t *testing.T) {
+	// For random-walk frequency noise the Allan deviation grows ~ √τ.
+	src := rng.New(2)
+	const tau0 = 1.0
+	n := 100000
+	x := make([]float64, n)
+	freq := 0.0
+	phase := 0.0
+	for i := range x {
+		freq += src.Normal(0, 1e-9)
+		phase += freq * tau0
+		x[i] = phase
+	}
+	p1, err := Deviation(x, tau0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Deviation(x, tau0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p2.Deviation / p1.Deviation
+	want := math.Sqrt(128.0 / 8.0)
+	if ratio < want/1.6 || ratio > want*1.6 {
+		t.Errorf("RW freq scaling ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func TestSinusoidPeak(t *testing.T) {
+	// Sinusoidal frequency wander of amplitude A peaks in Allan
+	// deviation near τ = P/2 at a level comparable to A.
+	const amp = 1e-7
+	const period = 4096.0
+	const tau0 = 16.0
+	n := 40000
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) * tau0
+		// phase error = integral of A·sin(2πt/P)
+		x[i] = amp * period / (2 * math.Pi) * (1 - math.Cos(2*math.Pi*tt/period))
+	}
+	atPeak, err := Deviation(x, tau0, int(period/2/tau0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atPeak.Deviation < amp/3 || atPeak.Deviation > amp*1.5 {
+		t.Errorf("sinusoid peak deviation %v, want within [A/3, 1.5A] of A=%v", atPeak.Deviation, amp)
+	}
+	farAbove, err := Deviation(x, tau0, int(8*period/tau0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farAbove.Deviation > atPeak.Deviation/3 {
+		t.Errorf("deviation %v at 8P not well below peak %v", farAbove.Deviation, atPeak.Deviation)
+	}
+}
+
+func TestCurveGrid(t *testing.T) {
+	x := make([]float64, 1000)
+	src := rng.New(3)
+	for i := range x {
+		x[i] = src.Normal(0, 1e-6)
+	}
+	pts, err := Curve(x, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 8 {
+		t.Fatalf("curve has only %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tau <= pts[i-1].Tau {
+			t.Fatalf("curve taus not increasing: %v after %v", pts[i].Tau, pts[i-1].Tau)
+		}
+	}
+	if pts[0].Tau != 16 {
+		t.Errorf("first tau = %v, want 16", pts[0].Tau)
+	}
+}
+
+func TestResample(t *testing.T) {
+	ts := []float64{0, 1, 2.5, 4}
+	xs := []float64{0, 10, 25, 40} // linear in t: x = 10t
+	out, err := Resample(ts, xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range out {
+		tt := 0.5 * float64(k)
+		if math.Abs(v-10*tt) > 1e-9 {
+			t.Errorf("resampled[%d] = %v, want %v", k, v, 10*tt)
+		}
+	}
+	if _, err := Resample([]float64{0, 0}, []float64{1, 2}, 1); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := Resample([]float64{0}, []float64{1}, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Resample(ts, xs[:3], 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func BenchmarkCurve(b *testing.B) {
+	src := rng.New(1)
+	x := make([]float64, 40000)
+	for i := range x {
+		x[i] = src.Normal(0, 1e-6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Curve(x, 16, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

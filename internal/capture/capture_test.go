@@ -1,0 +1,173 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+func sampleTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Hour, 5)
+	sc.LossProb = 0.05
+	tr, err := sim.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRoundTripFile(t *testing.T) {
+	tr := sampleTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.tsctrc")
+	n, err := SaveTrace(path, tr, "unit test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.Exchanges) {
+		t.Fatalf("wrote %d records, trace has %d", n, len(tr.Exchanges))
+	}
+	meta, recs, err := LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != tr.Scenario.Name || meta.PollPeriod != 16 ||
+		meta.Seed != 5 || meta.Comment != "unit test" {
+		t.Errorf("meta = %+v", meta)
+	}
+	if len(recs) != len(tr.Exchanges) {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, e := range tr.Exchanges {
+		got := recs[i]
+		want := FromExchange(e)
+		if got != want {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestLostFlagPreserved(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, e := range tr.Exchanges {
+		if e.Lost {
+			lost++
+		}
+		if err := w.Write(FromExchange(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lost == 0 {
+		t.Fatal("trace has no losses to test")
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLost := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Lost {
+			gotLost++
+		}
+	}
+	if gotLost != lost {
+		t.Errorf("lost flags: %d, want %d", gotLost, lost)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE..."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedRecordDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Seq: 0, Ta: 1, Tf: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record not detected")
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty capture Next = %v, want EOF", err)
+	}
+}
+
+func TestImplausibleMetaRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB meta
+	if _, err := NewReader(&buf); err == nil {
+		t.Error("huge meta length accepted")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	rec := Record{Seq: 1, Ta: 1 << 40, Tf: 1<<40 + 500000, Tb: 1e6, Te: 1e6 + 2e-5,
+		Tg: 1e6 + 4e-4, TrueTa: 1e6 - 4e-4, TrueTf: 1e6 + 4e-4}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			b.StopTimer()
+			buf.Reset()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the reader; valid
+// captures must round-trip.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "seed", PollPeriod: 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(Record{Seq: 0, Ta: 1, Tf: 2, Tb: 3, Te: 4, Tg: 5})
+	_ = w.Write(Record{Seq: 1, Lost: true})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("garbage input longer than magic"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				return
+			}
+		}
+	})
+}

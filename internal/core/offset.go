@@ -1,0 +1,124 @@
+package core
+
+import "math"
+
+// updateOffset runs the four-stage offset algorithm of Section 5.3 at the
+// arrival of the current packet, with the warmup and lost-packet
+// refinements of Section 6.1:
+//
+//	(i)   total per-packet error E^T_i = E_i + ε·age_i
+//	(ii)  quality weights w_i = exp(−(E^T_i/E)²) over the τ′ window
+//	(iii) weighted combination, optionally with local-rate linear
+//	      prediction; fallback to the last estimate when quality is
+//	      extremely poor (min E^T > E**)
+//	(iv)  sanity check: successive estimates may not differ by more than
+//	      E_s, otherwise the previous value is duplicated
+func (s *Sync) updateOffset(rec *record, res *Result) {
+	e := s.cfg.E()
+	if s.count <= s.nWarm {
+		e *= s.cfg.WarmupEInflation
+	}
+	eStarStar := s.cfg.EStarStarFactor * e
+
+	n := len(s.hist)
+	start := n - s.nOff
+	if start < 0 {
+		start = 0
+	}
+	win := s.hist[start:]
+
+	// Local-rate residual for linear prediction (equation 21): the
+	// estimate of the rate error of C(t) relative to true time.
+	gl := 0.0
+	useGl := s.cfg.UseLocalRate && s.plValid && s.pl > 0 && s.p > 0
+	if useGl {
+		gl = s.pl/s.p - 1
+	}
+
+	// Stage (i)+(ii): total errors and weights.
+	now := rec.tf
+	minET := math.Inf(1)
+	sumW, sumWTheta := 0.0, 0.0
+	for idx := range win {
+		r := &win[idx]
+		age := spanSeconds(r.tf, now, s.p)
+		et := r.pointErr + s.cfg.AgingRate*age
+		if et < minET {
+			minET = et
+		}
+		w := math.Exp(-(et / e) * (et / e))
+		pred := r.theta
+		if useGl {
+			pred -= gl * age
+		}
+		sumW += w
+		sumWTheta += w * pred
+	}
+
+	var cand float64
+	switch {
+	case !s.haveTh:
+		// First packet: the estimate is the naive one; with the clock
+		// aligned to the server at the first exchange this is the
+		// paper's "first estimate is just the server timestamp".
+		cand = rec.theta
+	case minET > eStarStar || sumW == 0:
+		res.PoorQuality = true
+		prevAge := spanSeconds(s.thetaTf, now, s.p)
+		prevPred := s.theta
+		if useGl {
+			prevPred -= gl * prevAge
+		}
+		gapped := false
+		if n >= 2 {
+			gapped = spanSeconds(s.hist[n-2].tf, now, s.p) > s.cfg.LocalRateWindow/2
+		}
+		if gapped {
+			// After a long outage the stored window is stale: blend the
+			// new naive estimate (weighted by its point error) with the
+			// aged previous estimate, to let fresh data in quickly.
+			wNew := math.Exp(-(rec.pointErr / e) * (rec.pointErr / e))
+			agedErr := s.thetaErr + s.cfg.AgingRate*prevAge
+			wOld := math.Exp(-(agedErr / e) * (agedErr / e))
+			if wNew+wOld > 0 {
+				cand = (wNew*rec.theta + wOld*prevPred) / (wNew + wOld)
+			} else {
+				cand = prevPred
+			}
+			s.thetaErr = math.Min(rec.pointErr, agedErr)
+		} else {
+			cand = prevPred
+			s.thetaErr += s.cfg.AgingRate * prevAge
+		}
+	default:
+		cand = sumWTheta / sumW
+		s.thetaErr = minET
+	}
+
+	// Stage (iv): sanity check. The threshold is orders of magnitude
+	// above any physical inter-packet offset increment; it exists to
+	// bound damage from events like wrong server timestamps, never to
+	// tune performance (which would risk lock-out). It ages at the
+	// clock's rate uncertainty so that legitimate drift accumulated
+	// since the last trusted estimate is never rejected: the hardware
+	// stability bound once p̂ is calibrated, or the current pair quality
+	// bound while it is still worse than that (early life, where C(t)
+	// genuinely drifts at multiple PPM). Aging is also what re-admits
+	// fresh data after a period of rejection, preventing permanent
+	// lock-out. During warmup the check is off entirely — the paper's
+	// warmup trusts nothing and locks nothing.
+	rateUnc := s.cfg.HardwareRateBound
+	if s.havePair && s.pQual > rateUnc {
+		rateUnc = s.pQual
+	}
+	limit := s.cfg.OffsetSanity + rateUnc*spanSeconds(s.thetaTf, now, s.p)
+	if s.haveTh && s.count > s.nWarm && math.Abs(cand-s.theta) > limit {
+		res.OffsetSanityTriggered = true
+		cand = s.theta // duplicate the most recent trusted value
+	} else {
+		s.thetaTf = now
+	}
+
+	s.theta = cand
+	s.haveTh = true
+}

@@ -1,0 +1,203 @@
+package core
+
+import "math"
+
+// pairEstimate computes the paired rate estimate of equation (17),
+// averaged over the forward and backward directions, together with its
+// quality bound (E_i+E_j)/Δ(t). ok is false when the pair is degenerate.
+func (s *Sync) pairEstimate(j, i record) (p float64, quality float64, ok bool) {
+	if i.seq == j.seq || i.ta <= j.ta || i.tf <= j.tf {
+		return 0, 0, false
+	}
+	fwd := (i.tb - j.tb) / float64(i.ta-j.ta)
+	back := (i.te - j.te) / float64(i.tf-j.tf)
+	p = (fwd + back) / 2
+	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+		return 0, 0, false
+	}
+	span := float64(i.tf-j.tf) * s.p
+	quality = ((i.rtt - s.rHat) + (j.rtt - s.rHat)) / span
+	return p, quality, true
+}
+
+// updateRate advances the global rate estimate p̂ for the new record.
+//
+// During warmup (the first T_w packets) a growing near/far scheme is
+// used: the best packet from the oldest quarter of history is paired with
+// the best from the newest quarter, exploiting the growing Δ(t) while
+// managing delay errors; the first estimate is the naive p̂_{2,1}.
+//
+// After warmup the paired estimator of Section 5.2 runs: j is the first
+// packet with point error below E*, i advances to every accepted packet,
+// and the estimate error is bounded by 2E*/Δ(t).
+func (s *Sync) updateRate(rec *record, res *Result) {
+	if s.count <= 1 {
+		return // single packet: stay on PHatInit
+	}
+
+	if s.count <= s.nWarm {
+		s.warmupRate(rec, res)
+		return
+	}
+
+	eStar := s.cfg.EStar()
+	if rec.rtt-s.rHat > eStar {
+		return // rejected: estimate simply persists (robustness by design)
+	}
+	res.Accepted = true
+
+	if !s.havePair {
+		// Find j: the first history packet currently within E*.
+		for idx := range s.hist {
+			cand := s.hist[idx]
+			if cand.rtt-s.rHat <= eStar && cand.tf < rec.tf {
+				s.pairJ = cand
+				s.havePair = true
+				break
+			}
+		}
+		if !s.havePair {
+			// No prior acceptable packet: this one becomes j and waits.
+			s.pairJ = *rec
+			s.havePair = true
+			return
+		}
+	}
+
+	pNew, qual, ok := s.pairEstimate(s.pairJ, *rec)
+	if !ok {
+		return
+	}
+	// Rate sanity: the hardware cannot jump. Two estimates with quality
+	// bounds q_old and q_new may legitimately differ by q_old + q_new
+	// plus the stability allowance; anything larger means corrupt input
+	// — e.g. faulty server timestamps, which pass the RTT filter
+	// unscathed because server stamp errors cancel in host-measured
+	// RTTs — and the previous estimate is kept (Section 5.2's principle
+	// applied to p̂ as well as p̂_l).
+	if allowed := s.pQual + qual + s.cfg.RateSanity; math.Abs(pNew/s.p-1) > allowed {
+		res.RateSanityTriggered = true
+		return
+	}
+	s.pairI = *rec
+	s.setRate(pNew, rec.tf)
+	s.pQual = qual
+	res.RateUpdated = true
+}
+
+// warmupRate implements the growing near/far warmup scheme.
+func (s *Sync) warmupRate(rec *record, res *Result) {
+	n := len(s.hist) // history before this record
+	w := n / 4
+	if w < 1 {
+		w = 1
+	}
+	// Far window: the first w packets; near window: the last w packets
+	// of history plus the current record. Select the lowest point error
+	// (relative to the current r̂) in each.
+	bestFar, bestNear := -1, -1
+	bestFarErr, bestNearErr := math.Inf(1), math.Inf(1)
+	for idx := 0; idx < w && idx < n; idx++ {
+		if e := s.hist[idx].rtt - s.rHat; e < bestFarErr {
+			bestFarErr = e
+			bestFar = idx
+		}
+	}
+	for idx := n - w; idx < n; idx++ {
+		if idx < 0 {
+			continue
+		}
+		if e := s.hist[idx].rtt - s.rHat; e < bestNearErr {
+			bestNearErr = e
+			bestNear = idx
+		}
+	}
+	nearRec := *rec
+	if cur := rec.rtt - s.rHat; cur > bestNearErr && bestNear >= 0 {
+		nearRec = s.hist[bestNear]
+	}
+	if bestFar < 0 {
+		return
+	}
+	farRec := s.hist[bestFar]
+	if farRec.seq == nearRec.seq {
+		return
+	}
+	pNew, qual, ok := s.pairEstimate(farRec, nearRec)
+	if !ok {
+		return
+	}
+	s.pairJ, s.pairI = farRec, nearRec
+	s.havePair = true
+	s.setRate(pNew, rec.tf)
+	s.pQual = qual
+	res.RateUpdated = true
+	res.Accepted = true
+}
+
+// updateLocalRate advances the quasi-local rate p̂_l of Section 5.2: a
+// window of effective width τ̄ ending at the current packet is divided
+// into near (τ̄/W), central, and far (2τ̄/W) sub-windows; the best
+// packet of the near and far sub-windows forms a candidate; candidates
+// are accepted only under the target quality γ* and a sanity bound on
+// the relative change.
+func (s *Sync) updateLocalRate(res *Result) {
+	if !s.cfg.UseLocalRate {
+		return
+	}
+	// Refinement only: activated once a full window is available after
+	// warmup (Section 6.1).
+	if s.count <= s.nWarm+s.nLocalWin || len(s.hist) < s.nLocalWin {
+		return
+	}
+
+	// Time-scale control guard (Section 6.1, "Lost Packets"): if the gap
+	// to the previous packet is too large the local rate is out of date.
+	n := len(s.hist)
+	if n >= 2 {
+		gap := spanSeconds(s.hist[n-2].tf, s.hist[n-1].tf, s.p)
+		if gap > s.cfg.LocalRateWindow/2 {
+			s.plValid = false
+			return
+		}
+	}
+
+	win := s.hist[n-s.nLocalWin:]
+	far := win[:s.nLocalFar]
+	near := win[len(win)-s.nLocalNear:]
+
+	bestOf := func(rs []record) record {
+		best := rs[0]
+		for _, r := range rs[1:] {
+			if r.pointErr < best.pointErr {
+				best = r
+			}
+		}
+		return best
+	}
+	j, i := bestOf(far), bestOf(near)
+
+	pCand, qual, ok := s.pairEstimate(j, i)
+	if !ok {
+		return
+	}
+
+	prev := s.pl
+	if prev == 0 {
+		prev = s.p
+	}
+	switch {
+	case qual > s.cfg.LocalRateQuality:
+		// Conservative: quality insufficient, duplicate the previous
+		// value (p̂_l(t_k) = p̂_l(t_{k-1})).
+		s.pl = prev
+	case math.Abs(pCand/prev-1) > s.cfg.RateSanity:
+		// Sanity check: the hardware cannot change rate this fast, no
+		// matter what the data says (e.g. faulty server timestamps).
+		s.pl = prev
+		res.RateSanityTriggered = true
+	default:
+		s.pl = pCand
+	}
+	s.plValid = true
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Input is the raw data of one completed NTP exchange: everything the
+// algorithms are allowed to see.
+type Input struct {
+	Ta, Tf uint64  // host counter stamps (send, receive)
+	Tb, Te float64 // server stamps in seconds (receive, transmit)
+}
+
+// Result reports the synchronization state after processing one packet.
+type Result struct {
+	// Seq is the 0-based index of the processed packet.
+	Seq int
+
+	// PHat is the current global rate estimate (seconds per cycle) and
+	// PQuality its estimated error bound (dimensionless).
+	PHat     float64
+	PQuality float64
+
+	// PLocal is the current quasi-local rate estimate and PLocalValid
+	// whether it is fresh enough to use (always false when the local
+	// rate refinement is disabled).
+	PLocal      float64
+	PLocalValid bool
+
+	// ThetaHat is the current estimate of the offset of the uncorrected
+	// clock C(t), evaluated at this packet's arrival.
+	ThetaHat float64
+	// ThetaNaive is this packet's naive per-packet offset estimate
+	// (equation 19), the raw material of the filter.
+	ThetaNaive float64
+
+	// ClockP and ClockC define the uncorrected clock in force after this
+	// packet: C(T) = ClockP·T + ClockC.
+	ClockP, ClockC float64
+
+	// RTT is this packet's measured round-trip time, RTTHat the current
+	// minimum estimate r̂, and PointError E_i = RTT − r̂ (after any
+	// level-shift revision).
+	RTT, RTTHat, PointError float64
+
+	// Accepted reports whether the packet was accepted into the global
+	// rate pair; RateUpdated whether p̂ changed.
+	Accepted    bool
+	RateUpdated bool
+
+	// Quality flags.
+	OffsetSanityTriggered bool // the E_s check duplicated the previous θ̂
+	RateSanityTriggered   bool // the local-rate sanity duplicated p̂_l
+	PoorQuality           bool // the E** fallback was used
+	UpwardShiftDetected   bool // an upward level shift was detected now
+	Warmup                bool // packet processed during warmup
+}
+
+// record is the per-packet history entry kept inside the top window.
+type record struct {
+	seq    int
+	ta, tf uint64
+	tb, te float64
+	rtt    float64 // seconds, measured with p̂ at arrival
+	// pointErr is E_i relative to the r̂ in force at arrival, revised
+	// backwards when an upward level shift is detected (Section 6.2).
+	pointErr float64
+	theta    float64 // naive offset estimate θ̂_i (equation 19)
+}
+
+// Sync is the synchronization engine. Feed it completed exchanges in
+// arrival order with Process; lost packets are simply never fed
+// (Section 6.1: "any lost packets are simply excluded from the
+// analysis"). Sync is not safe for concurrent use.
+type Sync struct {
+	cfg Config
+
+	// Window sizes in packets.
+	nOff, nLocalWin, nLocalNear, nLocalFar, nShift, nTop, nWarm int
+
+	hist  []record
+	count int // total packets processed
+
+	// Global rate state: the pair (j, i) and the clock C(T) = p·T + c.
+	p        float64
+	c        float64
+	pairJ    record
+	pairI    record
+	havePair bool
+	pQual    float64
+
+	// Minimum RTT tracking.
+	rHat          float64
+	lastShiftSeq  int // first seq at/after the most recent upward shift
+	shiftUpActive bool
+
+	// Local rate state.
+	pl      float64
+	plValid bool
+
+	// Offset state: the last estimate, where it was made, and its
+	// estimated error (for the gap fallback of Section 6.1).
+	theta    float64
+	thetaTf  uint64
+	thetaErr float64
+	haveTh   bool
+
+	// Server identity tracking (ObserveIdentity).
+	ident      Identity
+	identKnown bool
+}
+
+// NewSync constructs an engine from a validated config.
+func NewSync(cfg Config) (*Sync, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sync{
+		cfg:    cfg,
+		nOff:   cfg.packets(cfg.OffsetWindow),
+		nShift: cfg.packets(cfg.ShiftWindow),
+		nTop:   cfg.packets(cfg.TopWindow),
+		nWarm:  cfg.WarmupSamples,
+		p:      cfg.PHatInit,
+		rHat:   math.Inf(1),
+	}
+	if cfg.UseLocalRate {
+		s.nLocalWin = cfg.packets(cfg.LocalRateWindow)
+		s.nLocalNear = maxInt(1, s.nLocalWin/cfg.LocalRateW)
+		s.nLocalFar = maxInt(1, 2*s.nLocalWin/cfg.LocalRateW)
+	}
+	if s.nTop < 2*s.nWarm {
+		s.nTop = 2 * s.nWarm
+	}
+	return s, nil
+}
+
+// Config returns the engine's configuration.
+func (s *Sync) Config() Config { return s.cfg }
+
+// Clock returns the current uncorrected clock definition
+// C(T) = p·T + c.
+func (s *Sync) Clock() (p, c float64) { return s.p, s.c }
+
+// clockRead evaluates the uncorrected clock at counter value T.
+func (s *Sync) clockRead(T uint64) float64 { return float64(T)*s.p + s.c }
+
+// Theta returns the most recent offset estimate and whether one exists.
+func (s *Sync) Theta() (float64, bool) { return s.theta, s.haveTh }
+
+// ThetaAt extrapolates the offset estimate to counter value T, using the
+// local rate linear prediction when it is valid (equation 23).
+func (s *Sync) ThetaAt(T uint64) float64 {
+	if !s.haveTh {
+		return 0
+	}
+	if s.cfg.UseLocalRate && s.plValid && s.p > 0 {
+		gl := s.pl/s.p - 1
+		return s.theta - gl*spanSeconds(s.thetaTf, T, s.p)
+	}
+	return s.theta
+}
+
+// AbsoluteTime reads the absolute (offset-corrected) clock
+// Ca(T) = C(T) − θ̂ at counter value T (equation 7).
+func (s *Sync) AbsoluteTime(T uint64) float64 {
+	return s.clockRead(T) - s.ThetaAt(T)
+}
+
+// DifferenceSpan measures the interval between two counter readings with
+// the difference clock Cd (equation 6): smooth, driven only by p̂.
+func (s *Sync) DifferenceSpan(T1, T2 uint64) float64 {
+	return spanSeconds(T1, T2, s.p)
+}
+
+// RTTHat returns the current minimum-RTT estimate r̂.
+func (s *Sync) RTTHat() float64 { return s.rHat }
+
+// Count returns the number of packets processed.
+func (s *Sync) Count() int { return s.count }
+
+// spanSeconds converts a counter span to seconds, preserving sign.
+func spanSeconds(from, to uint64, p float64) float64 {
+	if to >= from {
+		return float64(to-from) * p
+	}
+	return -float64(from-to) * p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Process ingests one completed exchange and returns the updated state.
+// Exchanges must be fed in arrival order.
+func (s *Sync) Process(in Input) (Result, error) {
+	if in.Tf <= in.Ta {
+		return Result{}, fmt.Errorf("core: counter stamps not increasing (Ta=%d, Tf=%d)", in.Ta, in.Tf)
+	}
+	if len(s.hist) > 0 && in.Tf <= s.hist[len(s.hist)-1].tf {
+		return Result{}, fmt.Errorf("core: exchange out of order (Tf=%d after %d)", in.Tf, s.hist[len(s.hist)-1].tf)
+	}
+
+	seq := s.count
+	s.count++
+	res := Result{Seq: seq, Warmup: seq < s.nWarm}
+
+	rec := record{seq: seq, ta: in.Ta, tf: in.Tf, tb: in.Tb, te: in.Te}
+	rec.rtt = spanSeconds(in.Ta, in.Tf, s.p)
+
+	// Minimum RTT: downward movements are unambiguous (congestion cannot
+	// lower the minimum) and take effect immediately.
+	if rec.rtt < s.rHat {
+		s.rHat = rec.rtt
+	}
+	rec.pointErr = rec.rtt - s.rHat
+
+	if seq == 0 {
+		// Align the clock origin with the server: C(Ta,1) = Tb,1. The
+		// first offset estimate is then the naive one, which equation
+		// (19) makes ≈ −r/2 + noise relative to this alignment.
+		s.c = in.Tb - float64(in.Ta)*s.p
+	}
+
+	// Global rate synchronization (warmup scheme, then the paired
+	// estimator of Section 5.2).
+	s.updateRate(&rec, &res)
+
+	// The naive offset estimate uses the clock in force after the rate
+	// update so that filtering and estimation stay decoupled.
+	rec.theta = s.naiveTheta(rec)
+	res.ThetaNaive = rec.theta
+
+	s.hist = append(s.hist, rec)
+
+	// Upward level-shift detection (Section 6.2) may revise recent point
+	// errors, so run it before the offset filter consumes them.
+	s.detectUpwardShift(&res)
+
+	// Local rate refinement.
+	s.updateLocalRate(&res)
+
+	// Offset estimation (Section 5.3 with the Section 6.1 additions).
+	s.updateOffset(&rec, &res)
+
+	// Top-level window maintenance.
+	s.slideTopWindow()
+
+	res.PHat = s.p
+	res.PQuality = s.pQual
+	res.PLocal = s.pl
+	res.PLocalValid = s.plValid
+	res.ClockP, res.ClockC = s.p, s.c
+	res.RTT = rec.rtt
+	res.RTTHat = s.rHat
+	res.PointError = s.hist[len(s.hist)-1].pointErr
+	res.ThetaHat = s.theta
+	return res, nil
+}
+
+// naiveTheta computes equation (19) for a record with the current clock:
+// θ̂_i = (C(Ta)+C(Tf))/2 − (Tb+Te)/2.
+func (s *Sync) naiveTheta(rec record) float64 {
+	return (s.clockRead(rec.ta)+s.clockRead(rec.tf))/2 - (rec.tb+rec.te)/2
+}
+
+// setRate installs a new global rate estimate, preserving offset
+// continuity: the clock is redefined so that it agrees with the old one
+// at the current counter value ("Clock Offset Consistency", Section 6.1).
+func (s *Sync) setRate(pNew float64, at uint64) {
+	if pNew == s.p {
+		return
+	}
+	s.c += float64(at) * (s.p - pNew)
+	s.p = pNew
+}
+
+// slideTopWindow discards the oldest half of the history once the top
+// window is full, then re-derives r̂ and revalidates the rate pair
+// (Section 6.1, "Windowing").
+func (s *Sync) slideTopWindow() {
+	if len(s.hist) < s.nTop {
+		return
+	}
+	drop := s.nTop / 2
+	s.hist = append(s.hist[:0:0], s.hist[drop:]...)
+
+	// r̂ first: recompute over the retained history, using only values
+	// beyond the last detected upward shift point.
+	s.recomputeRHat()
+
+	// Then p̂: if the pair's older packet fell out of the window, replace
+	// it with the first retained packet of similar or better point
+	// quality, and adopt the new pair only if its quality improves.
+	if !s.havePair || s.pairI.seq <= s.pairJ.seq || s.pairJ.seq >= s.hist[0].seq {
+		return
+	}
+	eStar := s.cfg.EStar()
+	var newJ *record
+	for idx := range s.hist {
+		cand := &s.hist[idx]
+		if cand.seq >= s.pairI.seq {
+			break
+		}
+		if cand.rtt-s.rHat <= eStar {
+			newJ = cand
+			break
+		}
+	}
+	if newJ == nil {
+		// No packet meets E*; fall back to the best available so the
+		// pair always has in-window provenance.
+		best := math.Inf(1)
+		for idx := range s.hist {
+			cand := &s.hist[idx]
+			if cand.seq >= s.pairI.seq {
+				break
+			}
+			if e := cand.rtt - s.rHat; e < best {
+				best = e
+				newJ = cand
+			}
+		}
+	}
+	if newJ == nil {
+		return
+	}
+	pNew, qual, ok := s.pairEstimate(*newJ, s.pairI)
+	s.pairJ = *newJ
+	if ok && qual < s.pQual {
+		s.setRate(pNew, s.hist[len(s.hist)-1].tf)
+		s.pQual = qual
+	}
+}
+
+// recomputeRHat rebuilds the global minimum from retained history,
+// respecting the last upward shift point.
+func (s *Sync) recomputeRHat() {
+	m := math.Inf(1)
+	for idx := range s.hist {
+		rec := &s.hist[idx]
+		if rec.seq < s.lastShiftSeq {
+			continue
+		}
+		if rec.rtt < m {
+			m = rec.rtt
+		}
+	}
+	if !math.IsInf(m, 1) {
+		s.rHat = m
+	}
+}
+
+// detectUpwardShift maintains the local minimum r̂_l over the shift
+// window T_s and reacts to upward level shifts: r̂ jumps to r̂_l and the
+// point errors of packets back to the shift point are reassessed.
+func (s *Sync) detectUpwardShift(res *Result) {
+	if len(s.hist) < s.nShift || s.count <= s.nWarm {
+		return
+	}
+	start := len(s.hist) - s.nShift
+	rl := math.Inf(1)
+	for idx := start; idx < len(s.hist); idx++ {
+		if s.hist[idx].rtt < rl {
+			rl = s.hist[idx].rtt
+		}
+	}
+	if rl-s.rHat > s.cfg.ShiftThresholdFactor*s.cfg.E() {
+		s.rHat = rl
+		s.lastShiftSeq = s.hist[start].seq
+		for idx := start; idx < len(s.hist); idx++ {
+			s.hist[idx].pointErr = s.hist[idx].rtt - s.rHat
+		}
+		// The pair survives, but its quality is reassessed against the
+		// new error level (Section 6.2, "Asymmetry of offset and rate").
+		if s.havePair {
+			if _, qual, ok := s.pairEstimate(s.pairJ, s.pairI); ok {
+				s.pQual = qual
+			}
+		}
+		res.UpwardShiftDetected = true
+	}
+}

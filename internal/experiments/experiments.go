@@ -1,0 +1,261 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment builds its workload with internal/sim,
+// runs the algorithms of internal/core (and internal/swntp for the
+// baseline), and reports the same rows or series the paper reports,
+// together with shape checks: who wins, by roughly what factor, where
+// the crossovers fall. Absolute numbers differ from the paper's testbed;
+// EXPERIMENTS.md records paper-vs-measured for each item.
+//
+// Run from the command line with `go run ./cmd/experiments -run fig12`,
+// or through the benchmark harness in the repository root.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+	"repro/internal/trace"
+)
+
+// Options control experiment execution.
+type Options struct {
+	// Seed selects the deterministic realization; 0 means the default.
+	Seed uint64
+	// Quick shrinks trace durations ~8x for CI and benchmark use. The
+	// shapes under test survive; the statistics get noisier.
+	Quick bool
+	// OutputDir, when non-empty, receives TSV artifacts of each series.
+	OutputDir string
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 20041025 // the paper's presentation date at IMC'04
+	}
+	return o.Seed
+}
+
+// scale shrinks a duration in Quick mode, with a floor to keep windows
+// meaningful.
+func (o Options) scale(d float64) float64 {
+	if !o.Quick {
+		return d
+	}
+	s := d / 8
+	if s < 6*timebase.Hour {
+		s = 6 * timebase.Hour
+	}
+	if s > d {
+		s = d
+	}
+	return s
+}
+
+// Check is one shape assertion: a property of the paper's result that
+// the reproduction must preserve.
+type Check struct {
+	Name string
+	Want string
+	Got  string
+	Pass bool
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Lines  []string
+	Checks []Check
+	Tables map[string]*trace.Table
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Tables: map[string]*trace.Table{}}
+}
+
+func (r *Report) addLine(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) addCheck(name, want, got string, pass bool) {
+	r.Checks = append(r.Checks, Check{Name: name, Want: want, Got: got, Pass: pass})
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-40s want %-28s got %s\n", mark, c.Name, c.Want, c.Got)
+	}
+	return b.String()
+}
+
+// save writes a table artifact when an output directory is configured.
+func (r *Report) save(opts Options, name string, t *trace.Table) error {
+	r.Tables[name] = t
+	if opts.OutputDir == "" {
+		return nil
+	}
+	return t.SaveTSV(fmt.Sprintf("%s/%s_%s.tsv", opts.OutputDir, r.ID, name))
+}
+
+// runner is the signature of one experiment.
+type runner func(Options) (*Report, error)
+
+// registry maps experiment IDs to implementations, in presentation
+// order. It is populated in init to avoid an initialization cycle
+// (experiments look their own titles up through Title).
+var registry []registryEntry
+
+type registryEntry struct {
+	id    string
+	title string
+	run   runner
+}
+
+func init() {
+	registry = []registryEntry{
+		{"table1", "Absolute errors at key error rates and intervals", runTable1},
+		{"table2", "Characteristics of the stratum-1 NTP servers", runTable2},
+		{"fig2", "Offset drift of the uncorrected clock in two environments", runFig2},
+		{"fig3", "Allan deviation plots across four environments", runFig3},
+		{"fig4", "Backward network delay and server delay time series", runFig4},
+		{"fig5", "Naive per-packet rate estimates vs reference", runFig5},
+		{"fig6", "Naive per-packet offset estimates vs reference", runFig6},
+		{"fig7", "Robust rate estimation error for E*=20δ and 5δ", runFig7},
+		{"fig8", "Offset algorithm vs naive vs reference time series", runFig8},
+		{"fig9a", "Offset error sensitivity to window size τ'", runFig9a},
+		{"fig9b", "Offset error sensitivity to quality parameter E", runFig9b},
+		{"fig9c", "Offset error sensitivity to polling period", runFig9c},
+		{"fig10", "Performance over four host-server environments", runFig10},
+		{"fig11a", "Recovery after a multi-day data gap", runFig11a},
+		{"fig11b", "150 ms server clock error contained by sanity check", runFig11b},
+		{"fig11c", "Artificial upward level shifts (temporary and permanent)", runFig11c},
+		{"fig11d", "Natural symmetric downward level shift", runFig11d},
+		{"fig12", "Offset error over 3 months at polling 64 and 256", runFig12},
+		{"baseline", "SW-NTP baseline on identical traces", runBaseline},
+		{"ablation", "Contribution of each design mechanism", runAblation},
+	}
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Title returns the human title of an experiment.
+func Title(id string) string {
+	for _, e := range registry {
+		if e.id == id {
+			return e.title
+		}
+	}
+	return ""
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (*Report, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.run(opts)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// --- shared helpers ---
+
+// engineRun feeds a trace's completed exchanges through a fresh engine.
+func engineRun(tr *sim.Trace, cfg core.Config) ([]core.Result, []sim.Exchange, error) {
+	s, err := core.NewSync(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := tr.Completed()
+	results := make([]core.Result, 0, len(ex))
+	for _, e := range ex {
+		res, err := s.Process(core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: process seq %d: %w", e.Seq, err)
+		}
+		results = append(results, res)
+	}
+	return results, ex, nil
+}
+
+// offsetErrors computes θ̂ − θ_g per packet: the error of the estimated
+// offset against the DAG-derived reference under the engine's own clock.
+func offsetErrors(results []core.Result, ex []sim.Exchange) []float64 {
+	errs := make([]float64, len(results))
+	for k, res := range results {
+		thetaG := float64(ex[k].Tf)*res.ClockP + res.ClockC - ex[k].Tg
+		errs[k] = res.ThetaHat - thetaG
+	}
+	return errs
+}
+
+// afterWarmup filters errors to exchanges after a settling time.
+func afterWarmup(errs []float64, ex []sim.Exchange, settle float64) []float64 {
+	var out []float64
+	for k, e := range errs {
+		if ex[k].TrueTf > settle {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// defaultCfg builds the paper's default engine configuration with the
+// nominal counter period (~49 PPM off true, as a real spec value is).
+func defaultCfg(poll float64) core.Config {
+	return core.DefaultConfig(1.0/548655270, poll)
+}
+
+// fiveNumLine renders a five-number summary in µs, matching the
+// percentile curves of Figures 9 and 10.
+func fiveNumLine(label string, errs []float64) string {
+	fn := stats.FiveNumOf(errs)
+	toUs := func(v float64) float64 { return v / timebase.Microsecond }
+	return fmt.Sprintf("%-14s p01=%8.1fµs p25=%8.1fµs p50=%8.1fµs p75=%8.1fµs p99=%8.1fµs",
+		label, toUs(fn.P01), toUs(fn.P25), toUs(fn.P50), toUs(fn.P75), toUs(fn.P99))
+}
+
+// medianAbs returns the median of |xs|.
+func medianAbs(xs []float64) float64 {
+	cp := make([]float64, len(xs))
+	for i, x := range xs {
+		cp[i] = x
+		if cp[i] < 0 {
+			cp[i] = -cp[i]
+		}
+	}
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}

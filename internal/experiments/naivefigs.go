@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+	"repro/internal/trace"
+)
+
+// oneDayTrace generates the first-day dataset behind Figures 5 and 6:
+// machine room, ServerInt, 16 s polling.
+func oneDayTrace(opts Options) (*sim.Trace, error) {
+	sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Day, opts.seed())
+	return sim.Generate(sc)
+}
+
+// runFig5 regenerates Figure 5: naive per-packet rate estimates against
+// the DAG reference, with the growing baseline Δ(TSC) damping errors at
+// rate 1/Δ(t) but congested packets still producing poor estimates.
+func runFig5(opts Options) (*Report, error) {
+	r := newReport("fig5", Title("fig5"))
+	tr, err := oneDayTrace(opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := tr.Completed()
+	first := ex[0]
+	// Reference rate over the whole trace from DAG stamps (the paper's
+	// p̄ used for normalization).
+	last := ex[len(ex)-1]
+	pBar := (last.Tg - first.Tg) / float64(last.Tf-first.Tf)
+
+	tab := trace.NewTable("te_day", "naive_rel_ppm", "ref_rel_ppm")
+	var relErrsLate []float64 // |naive − reference| after 0.2 day
+	withinEarly, totalEarly := 0, 0
+	for _, e := range ex[1:] {
+		_, back, _, err := core.NaiveRatePair(
+			core.Input{Ta: first.Ta, Tf: first.Tf, Tb: first.Tb, Te: first.Te},
+			core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te})
+		if err != nil {
+			continue
+		}
+		ref := (e.Tg - first.Tg) / float64(e.Tf-first.Tf)
+		day := e.Te / timebase.Day
+		if err := tab.Append(day, timebase.PPM(back/pBar-1), timebase.PPM(ref/pBar-1)); err != nil {
+			return nil, err
+		}
+		rel := math.Abs(back/ref - 1)
+		if day > 0.2 {
+			relErrsLate = append(relErrsLate, rel)
+		}
+		if day > 0.05 && day < 0.2 {
+			totalEarly++
+			if rel < timebase.FromPPM(0.1) {
+				withinEarly++
+			}
+		}
+	}
+	if err := r.save(opts, "series", tab); err != nil {
+		return nil, err
+	}
+
+	frac := float64(withinEarly) / float64(totalEarly)
+	med := stats.Median(relErrsLate)
+	worst := stats.Percentile(relErrsLate, 100)
+	r.addLine("bulk within 0.1 PPM (0.05–0.2 day): %.1f%%", frac*100)
+	r.addLine("after 0.2 day: median |rel err| %.4f PPM, worst %.3f PPM",
+		timebase.PPM(med), timebase.PPM(worst))
+
+	r.addCheck("bulk quickly within 0.1 PPM of reference", "≥80%",
+		fmt.Sprintf("%.1f%%", frac*100), frac >= 0.8)
+	r.addCheck("median damps to ≪0.1 PPM after 0.2 day", "≤0.05 PPM",
+		fmt.Sprintf("%.4f PPM", timebase.PPM(med)), med <= timebase.FromPPM(0.05))
+	r.addCheck("congested packets remain unreliable (worst > median ×5)",
+		"worst/median > 5", fmt.Sprintf("%.0f", worst/med), worst > 5*med)
+	return r, nil
+}
+
+// runFig6 regenerates Figure 6: naive per-packet offset estimates θ̂_i
+// against reference, showing undamped network-delay noise biased to
+// negative values by the more heavily utilised forward path.
+func runFig6(opts Options) (*Report, error) {
+	r := newReport("fig6", Title("fig6"))
+	tr, err := oneDayTrace(opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := tr.Completed()
+	first, last := ex[0], ex[len(ex)-1]
+	// Fixed whole-trace clock: p̄ from DAG endpoints, origin aligned at
+	// the first exchange (the paper uses a constant rate estimate made
+	// over the entire trace for this figure).
+	pBar := (last.Tg - first.Tg) / float64(last.Tf-first.Tf)
+	cBar := first.Tb - float64(first.Ta)*pBar
+
+	tab := trace.NewTable("te_day", "naive_offset_s", "ref_offset_s")
+	var devs []float64
+	for _, e := range ex {
+		in := core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te}
+		naive := core.NaiveTheta(in, pBar, cBar)
+		ref := float64(e.Tf)*pBar + cBar - e.Tg
+		if err := tab.Append(e.Te/timebase.Day, naive, ref); err != nil {
+			return nil, err
+		}
+		devs = append(devs, naive-ref)
+	}
+	if err := r.save(opts, "series", tab); err != nil {
+		return nil, err
+	}
+
+	med := stats.Median(devs)
+	iqr := stats.IQR(devs)
+	neg := 0
+	for _, d := range devs {
+		if d < 0 {
+			neg++
+		}
+	}
+	negFrac := float64(neg) / float64(len(devs))
+	r.addLine("naive − reference: median %s, IQR %s, %.0f%% negative",
+		timebase.FormatDuration(med), timebase.FormatDuration(iqr), negFrac*100)
+
+	// The deviation distribution is (q← − q→)/2 plus the −Δ/2 ambiguity.
+	r.addCheck("deviations biased negative (forward more utilised)",
+		">60% negative", fmt.Sprintf("%.0f%%", negFrac*100), negFrac > 0.6)
+	r.addCheck("undamped noise ≫ filtered scale", "IQR > 10µs",
+		timebase.FormatDuration(iqr), iqr > 10*timebase.Microsecond)
+	r.addCheck("median reflects −Δ/2 ambiguity ≈ −25µs", "−80µs…0",
+		timebase.FormatDuration(med), med > -80e-6 && med < 0)
+	return r, nil
+}
+
+// runFig7 regenerates Figure 7: relative error of the robust rate
+// estimate for E* = 20δ and 5δ against the expected bound 2E*/Δ(t);
+// errors fall below 0.1 PPM and remain there, insensitive to E*.
+func runFig7(opts Options) (*Report, error) {
+	r := newReport("fig7", Title("fig7"))
+	tr, err := oneDayTrace(opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := tr.Completed()
+	first, last := ex[0], ex[len(ex)-1]
+	pRef := (last.Tg - first.Tg) / float64(last.Tf-first.Tf)
+
+	for _, eStarFactor := range []float64{20, 5} {
+		cfg := defaultCfg(16)
+		cfg.EStarFactor = eStarFactor
+		results, exs, err := engineRun(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		tab := trace.NewTable("te_day", "rel_err", "bound")
+		accepted := 0
+		crossed := math.Inf(1) // first time the error goes below 0.1 PPM for good
+		var maxAfter float64
+		for k, res := range results {
+			day := exs[k].Te / timebase.Day
+			rel := math.Abs(res.PHat/pRef - 1)
+			if err := tab.Append(day, rel, 2*res.PQuality); err != nil {
+				return nil, err
+			}
+			if res.Accepted {
+				accepted++
+			}
+			if day > 0.1 {
+				if rel > maxAfter {
+					maxAfter = rel
+				}
+				if math.IsInf(crossed, 1) {
+					crossed = day
+				}
+			}
+		}
+		name := fmt.Sprintf("Estar%.0fdelta", eStarFactor)
+		if err := r.save(opts, name, tab); err != nil {
+			return nil, err
+		}
+		fracAcc := float64(accepted) / float64(len(results))
+		r.addLine("E*=%2.0fδ: accepted %.1f%% of packets; max |rel err| after 0.1 day = %.4f PPM",
+			eStarFactor, fracAcc*100, timebase.PPM(maxAfter))
+		r.addCheck(fmt.Sprintf("E*=%.0fδ error below 0.1 PPM and stays", eStarFactor),
+			"max ≤ 0.1 PPM after 0.1d", fmt.Sprintf("%.4f PPM", timebase.PPM(maxAfter)),
+			maxAfter <= timebase.FromPPM(0.1))
+	}
+
+	// Selectivity ordering: the tight threshold accepts far fewer
+	// packets but the result barely changes (insensitivity to E*).
+	cfg20, cfg5 := defaultCfg(16), defaultCfg(16)
+	cfg20.EStarFactor, cfg5.EStarFactor = 20, 5
+	res20, _, err := engineRun(tr, cfg20)
+	if err != nil {
+		return nil, err
+	}
+	res5, _, err := engineRun(tr, cfg5)
+	if err != nil {
+		return nil, err
+	}
+	acc := func(rs []core.Result) float64 {
+		n := 0
+		for _, res := range rs {
+			if res.Accepted {
+				n++
+			}
+		}
+		return float64(n) / float64(len(rs))
+	}
+	a20, a5 := acc(res20), acc(res5)
+	// The paper saw 72% vs 3.9%; our synthetic queueing is lighter than
+	// their campus path, so the gap is smaller — the shape claim is that
+	// 5δ is markedly more selective yet the estimate is unaffected.
+	r.addCheck("5δ markedly more selective than 20δ", "acc(5δ) ≤ acc(20δ) − 10pp",
+		fmt.Sprintf("%.1f%% vs %.1f%%", a5*100, a20*100), a5 <= a20-0.10)
+	d20 := math.Abs(res20[len(res20)-1].PHat/pRef - 1)
+	d5 := math.Abs(res5[len(res5)-1].PHat/pRef - 1)
+	r.addCheck("final estimates agree across E* (insensitivity)",
+		"both ≤ 0.05 PPM", fmt.Sprintf("%.4f / %.4f PPM", timebase.PPM(d20), timebase.PPM(d5)),
+		d20 <= timebase.FromPPM(0.05) && d5 <= timebase.FromPPM(0.05))
+	return r, nil
+}
+
+// runFig8 regenerates Figure 8: the offset algorithm's estimates against
+// naive estimates and the DAG reference over the 3-week machine-room
+// ServerInt trace; the algorithm stays ~30 µs from reference.
+func runFig8(opts Options) (*Report, error) {
+	r := newReport("fig8", Title("fig8"))
+	dur := opts.scale(3 * timebase.Week)
+	sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, dur, opts.seed())
+	tr, err := sim.Generate(sc)
+	if err != nil {
+		return nil, err
+	}
+	results, ex, err := engineRun(tr, defaultCfg(16))
+	if err != nil {
+		return nil, err
+	}
+	errs := offsetErrors(results, ex)
+
+	tab := trace.NewTable("tb_day", "theta_hat_s", "theta_naive_s", "theta_ref_s")
+	for k, res := range results {
+		if k%4 != 0 {
+			continue
+		}
+		thetaG := float64(ex[k].Tf)*res.ClockP + res.ClockC - ex[k].Tg
+		if err := tab.Append(ex[k].Tb/timebase.Day, res.ThetaHat, res.ThetaNaive, thetaG); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.save(opts, "series", tab); err != nil {
+		return nil, err
+	}
+
+	settled := afterWarmup(errs, ex, timebase.Hour)
+	med := stats.Median(settled)
+	iqr := stats.IQR(settled)
+	medAbs := medianAbs(settled)
+	r.addLine("θ̂ − θ_ref after 1h: median %s, IQR %s, median |err| %s",
+		timebase.FormatDuration(med), timebase.FormatDuration(iqr), timebase.FormatDuration(medAbs))
+
+	// Naive comparison at the 90th percentile of |error|.
+	var naiveAbs []float64
+	for k, res := range results {
+		if ex[k].TrueTf <= timebase.Hour {
+			continue
+		}
+		thetaG := float64(ex[k].Tf)*res.ClockP + res.ClockC - ex[k].Tg
+		naiveAbs = append(naiveAbs, math.Abs(res.ThetaNaive-thetaG))
+	}
+	var algAbs []float64
+	for _, e := range settled {
+		algAbs = append(algAbs, math.Abs(e))
+	}
+	a90 := stats.Percentile(algAbs, 90)
+	n90 := stats.Percentile(naiveAbs, 90)
+	r.addLine("90th pct |err|: algorithm %s vs naive %s",
+		timebase.FormatDuration(a90), timebase.FormatDuration(n90))
+
+	r.addCheck("median |error| at the tens-of-µs scale", "≤ 60µs",
+		timebase.FormatDuration(medAbs), medAbs <= 60*timebase.Microsecond)
+	r.addCheck("IQR small", "≤ 60µs", timebase.FormatDuration(iqr),
+		iqr <= 60*timebase.Microsecond)
+	r.addCheck("algorithm beats naive at 90th pct", "alg < naive",
+		fmt.Sprintf("%s vs %s", timebase.FormatDuration(a90), timebase.FormatDuration(n90)),
+		a90 < n90)
+	r.addCheck("median shows −Δ/2 ambiguity", "−80µs…+10µs",
+		timebase.FormatDuration(med), med > -80e-6 && med < 10e-6)
+	return r, nil
+}

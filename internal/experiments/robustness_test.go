@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timebase"
+)
+
+// TestSeedRobustness verifies the headline accuracy claim is not an
+// artifact of one random realization: across independent seeds, the
+// median offset error stays in the tens-of-µs band and the rate estimate
+// within the hardware bound.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []uint64{3, 1009, 77777, 424243, 998877} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Day, seed)
+			tr, err := sim.Generate(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, ex, err := engineRun(tr, defaultCfg(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			settled := afterWarmup(offsetErrors(results, ex), ex, timebase.Hour)
+			med := stats.Median(settled)
+			if med < -100e-6 || med > 10e-6 {
+				t.Errorf("seed %d: median offset error %v outside the band", seed, med)
+			}
+			if iqr := stats.IQR(settled); iqr > 80e-6 {
+				t.Errorf("seed %d: IQR %v", seed, iqr)
+			}
+			trueP := tr.Osc.MeanPeriod()
+			if e := math.Abs(results[len(results)-1].PHat/trueP - 1); e > timebase.FromPPM(0.1) {
+				t.Errorf("seed %d: rate error %v PPM", seed, timebase.PPM(e))
+			}
+		})
+	}
+}
+
+// TestEnvironmentRobustness runs the engine across all six
+// environment-server combinations on one seed and requires calibrated
+// operation everywhere (medians bounded by each path's asymmetry plus a
+// noise allowance).
+func TestEnvironmentRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("environment sweep")
+	}
+	for _, env := range []sim.Environment{sim.Laboratory, sim.MachineRoom} {
+		for _, spec := range []sim.ServerSpec{sim.ServerLoc(), sim.ServerInt(), sim.ServerExt()} {
+			env, spec := env, spec
+			t.Run(env.String()+"-"+spec.Name, func(t *testing.T) {
+				t.Parallel()
+				sc := sim.NewScenario(env, spec, 64, timebase.Day, 55)
+				tr, err := sim.Generate(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results, ex, err := engineRun(tr, defaultCfg(64))
+				if err != nil {
+					t.Fatal(err)
+				}
+				settled := afterWarmup(offsetErrors(results, ex), ex, 2*timebase.Hour)
+				med := stats.Median(settled)
+				bound := spec.Asymmetry()/2 + 60e-6
+				if math.Abs(med) > bound {
+					t.Errorf("median %v exceeds asymmetry+noise bound %v", med, bound)
+				}
+			})
+		}
+	}
+}

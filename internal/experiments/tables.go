@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+	"repro/internal/trace"
+)
+
+// runTable1 regenerates Table 1: the translation of rate error (PPM)
+// into absolute offset error over the key intervals of the paper. It is
+// analytic — the table defines the design targets the algorithms are
+// built around — and the checks pin the bold entries the text relies on.
+func runTable1(opts Options) (*Report, error) {
+	r := newReport("table1", Title("table1"))
+
+	rows := []struct {
+		name string
+		dt   float64
+	}{
+		{"Target RTT to NTP server", 1 * timebase.Millisecond},
+		{"Typical Internet RTT", 100 * timebase.Millisecond},
+		{"Standard unit", 1},
+		{"Local SKM validity tau*=1000s", 1000},
+		{"1 Daily cycle", timebase.Day},
+		{"1 Weekly cycle", timebase.Week},
+	}
+	rates := []float64{0.02, 0.1}
+
+	tab := trace.NewTable("interval_s", "err_at_0.02ppm_s", "err_at_0.1ppm_s")
+	r.addLine("%-32s %-10s %14s %14s", "Significant Time Interval", "Duration", "@0.02 PPM", "@0.1 PPM")
+	for _, row := range rows {
+		e1 := timebase.OffsetAtRate(row.dt, timebase.FromPPM(rates[0]))
+		e2 := timebase.OffsetAtRate(row.dt, timebase.FromPPM(rates[1]))
+		if err := tab.Append(row.dt, e1, e2); err != nil {
+			return nil, err
+		}
+		r.addLine("%-32s %-10s %14s %14s", row.name,
+			timebase.FormatDuration(row.dt),
+			timebase.FormatDuration(e1), timebase.FormatDuration(e2))
+	}
+	if err := r.save(opts, "rows", tab); err != nil {
+		return nil, err
+	}
+
+	// The bold entries of the paper's Table 1.
+	check := func(name string, dt, ppm, want float64) {
+		got := timebase.OffsetAtRate(dt, timebase.FromPPM(ppm))
+		r.addCheck(name,
+			timebase.FormatDuration(want), timebase.FormatDuration(got),
+			math.Abs(got-want) <= 1e-6*want)
+	}
+	check("1s @ 0.02 PPM = 20ns", 1, 0.02, 20e-9)
+	check("tau* @ 0.02 PPM = 20µs", 1000, 0.02, 20e-6)
+	check("tau* @ 0.1 PPM = 0.1ms", 1000, 0.1, 0.1e-3)
+	check("1 day @ 0.1 PPM = 8.6ms", timebase.Day, 0.1, 8.64e-3)
+	return r, nil
+}
+
+// runTable2 regenerates Table 2: the characteristics of the three
+// stratum-1 servers, measured from week-long traces exactly as the paper
+// measured them (minimum RTT over at least a week; asymmetry Δ).
+func runTable2(opts Options) (*Report, error) {
+	r := newReport("table2", Title("table2"))
+	dur := opts.scale(timebase.Week)
+
+	specs := []sim.ServerSpec{sim.ServerLoc(), sim.ServerInt(), sim.ServerExt()}
+	wantRTT := []float64{0.38e-3, 0.89e-3, 14.2e-3}
+	wantAsym := []float64{50e-6, 50e-6, 500e-6}
+	wantHops := []int{2, 5, 10}
+	wantRef := []string{"GPS", "GPS", "Atomic"}
+
+	tab := trace.NewTable("min_rtt_s", "hops", "asymmetry_s")
+	r.addLine("%-10s %-9s %-10s %8s %6s %10s", "Server", "Reference", "Distance", "RTT", "Hops", "Delta")
+	for i, spec := range specs {
+		sc := sim.NewScenario(sim.MachineRoom, spec, 16, dur, opts.seed()+uint64(i))
+		tr, err := sim.Generate(sc)
+		if err != nil {
+			return nil, err
+		}
+		minRTT := tr.MinObservedRTT()
+		asym := spec.Asymmetry()
+		if err := tab.Append(minRTT, float64(spec.Forward.Hops), asym); err != nil {
+			return nil, err
+		}
+		r.addLine("%-10s %-9s %-10s %8s %6d %10s", spec.Name, spec.Reference,
+			fmt.Sprintf("%.0fm", spec.DistanceMeters),
+			timebase.FormatDuration(minRTT), spec.Forward.Hops,
+			timebase.FormatDuration(asym))
+
+		r.addCheck(spec.Name+" min RTT", timebase.FormatDuration(wantRTT[i]),
+			timebase.FormatDuration(minRTT),
+			math.Abs(minRTT-wantRTT[i]) < 0.05*wantRTT[i]+30e-6)
+		r.addCheck(spec.Name+" asymmetry", timebase.FormatDuration(wantAsym[i]),
+			timebase.FormatDuration(asym), math.Abs(asym-wantAsym[i]) < 10e-6)
+		r.addCheck(spec.Name+" hops", fmt.Sprint(wantHops[i]),
+			fmt.Sprint(spec.Forward.Hops), spec.Forward.Hops == wantHops[i])
+		r.addCheck(spec.Name+" reference", wantRef[i], spec.Reference, spec.Reference == wantRef[i])
+	}
+	if err := r.save(opts, "servers", tab); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

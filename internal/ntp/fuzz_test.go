@@ -1,0 +1,51 @@
+package ntp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic, and anything that
+// decodes must re-encode to the identical 48-byte prefix (the codec is
+// a bijection on valid headers).
+func FuzzUnmarshal(f *testing.F) {
+	good := Packet{Version: 4, Mode: ModeServer, Stratum: 1,
+		Receive: Time64FromSeconds(3.9e9), Transmit: Time64FromSeconds(3.9e9 + 1e-5)}
+	gb := good.Marshal()
+	f.Add(gb[:])
+	f.Add(make([]byte, PacketSize))
+	f.Add([]byte("short"))
+	f.Add(append(gb[:], 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.Unmarshal(data); err != nil {
+			return
+		}
+		out := p.Marshal()
+		if !bytes.Equal(out[:], data[:PacketSize]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:PacketSize], out)
+		}
+		_ = p.RefIDString() // must not panic on any refid/stratum combo
+	})
+}
+
+// FuzzTime64Era: era unfolding must always land within half an era of
+// the pivot and round-trip wall times near the pivot.
+func FuzzTime64Era(f *testing.F) {
+	f.Add(uint64(0), int64(1_750_000_000))
+	f.Add(uint64(1)<<63, int64(2_085_978_496)) // near era rollover
+	f.Fuzz(func(t *testing.T, raw uint64, pivotUnix int64) {
+		if pivotUnix < 0 || pivotUnix > 1<<40 {
+			return
+		}
+		pivot := time.Unix(pivotUnix, 0)
+		got := Time64(raw).Time(pivot)
+		d := got.Sub(pivot)
+		const halfEra = time.Duration(1<<31) * time.Second
+		if d > halfEra+time.Second || d < -halfEra-time.Second {
+			t.Fatalf("unfolded %v is %v from pivot %v", got, d, pivot)
+		}
+	})
+}

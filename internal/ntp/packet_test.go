@@ -1,0 +1,204 @@
+package ntp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Leap:      LeapAddOne,
+		Version:   4,
+		Mode:      ModeServer,
+		Stratum:   1,
+		Poll:      6,
+		Precision: -20,
+		RootDelay: Short32FromSeconds(0.015),
+		RootDisp:  Short32FromSeconds(0.002),
+		RefID:     RefIDFromString("GPS"),
+		RefTime:   Time64FromSeconds(3_900_000_000.25),
+		Origin:    Time64FromSeconds(3_900_000_001.5),
+		Receive:   Time64FromSeconds(3_900_000_001.75),
+		Transmit:  Time64FromSeconds(3_900_000_001.875),
+	}
+	buf := p.Marshal()
+	var q Packet
+	if err := q.Unmarshal(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestPacketRoundTripQuick(t *testing.T) {
+	f := func(leap, mode, stratum uint8, poll, prec int8, rd, rdisp, refid uint32, ts [4]uint64) bool {
+		p := Packet{
+			Leap:      LeapIndicator(leap & 3),
+			Version:   4,
+			Mode:      Mode(mode & 7),
+			Stratum:   stratum,
+			Poll:      poll,
+			Precision: prec,
+			RootDelay: Short32(rd),
+			RootDisp:  Short32(rdisp),
+			RefID:     refid,
+			RefTime:   Time64(ts[0]),
+			Origin:    Time64(ts[1]),
+			Receive:   Time64(ts[2]),
+			Transmit:  Time64(ts[3]),
+		}
+		buf := p.Marshal()
+		var q Packet
+		if err := q.Unmarshal(buf[:]); err != nil {
+			return false
+		}
+		return q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	var p Packet
+	if err := p.Unmarshal(make([]byte, 40)); err == nil {
+		t.Error("short packet accepted")
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	good := Packet{Version: 4, Mode: ModeClient}
+	buf := good.Marshal()
+	buf[0] = 0 // version 0
+	var p Packet
+	if err := p.Unmarshal(buf[:]); err == nil {
+		t.Error("version 0 accepted")
+	}
+}
+
+func TestUnmarshalIgnoresTrailing(t *testing.T) {
+	good := Packet{Version: 4, Mode: ModeServer, Stratum: 2}
+	buf := good.Marshal()
+	extended := append(buf[:], make([]byte, 20)...) // MAC / extension
+	var p Packet
+	if err := p.Unmarshal(extended); err != nil {
+		t.Errorf("extended packet rejected: %v", err)
+	}
+	if p.Stratum != 2 {
+		t.Errorf("stratum = %d", p.Stratum)
+	}
+}
+
+func TestTime64SecondsRoundTrip(t *testing.T) {
+	for _, sec := range []float64{0.5, 1, 1e6 + 0.125, 3_900_000_000.2,
+		4294967295.5} {
+		got := Time64FromSeconds(sec).Seconds()
+		if math.Abs(got-sec) > 1e-9*math.Max(1, sec) {
+			t.Errorf("Time64 seconds round trip: %v -> %v", sec, got)
+		}
+	}
+}
+
+func TestTime64Resolution(t *testing.T) {
+	// The 32-bit fraction resolves ~233 ps; 1 µs steps must be distinct.
+	a := Time64FromSeconds(1000.000001)
+	b := Time64FromSeconds(1000.000002)
+	if a == b {
+		t.Error("1 µs not resolvable in Time64")
+	}
+}
+
+func TestTime64TimeRoundTrip(t *testing.T) {
+	pivot := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	for _, tt := range []time.Time{
+		time.Date(2004, 10, 25, 9, 30, 0, 123456789, time.UTC),
+		time.Date(2026, 6, 11, 0, 0, 0, 1000, time.UTC),
+		time.Date(2035, 12, 31, 23, 59, 59, 999999000, time.UTC),
+	} {
+		got := Time64FromTime(tt).Time(pivot)
+		if d := got.Sub(tt); d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("time round trip %v -> %v (d=%v)", tt, got, d)
+		}
+	}
+}
+
+func TestTime64EraUnfolding(t *testing.T) {
+	// A time just past the 2036 era rollover must unfold correctly when
+	// the pivot is also past the rollover.
+	post := time.Date(2036, 2, 8, 0, 0, 0, 0, time.UTC) // era 1
+	pivot := time.Date(2036, 3, 1, 0, 0, 0, 0, time.UTC)
+	got := Time64FromTime(post).Time(pivot)
+	if d := got.Sub(post); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("era unfolding failed: %v -> %v", post, got)
+	}
+}
+
+func TestTime64Add(t *testing.T) {
+	base := Time64FromSeconds(100)
+	got := base.Add(1500 * time.Millisecond).Seconds()
+	if math.Abs(got-101.5) > 1e-6 {
+		t.Errorf("Add(1.5s) = %v", got)
+	}
+	got = base.Add(-250 * time.Millisecond).Seconds()
+	if math.Abs(got-99.75) > 1e-6 {
+		t.Errorf("Add(-0.25s) = %v", got)
+	}
+}
+
+func TestShort32(t *testing.T) {
+	cases := []struct{ sec float64 }{{0}, {0.001}, {0.015}, {1.5}, {30000}}
+	for _, c := range cases {
+		got := Short32FromSeconds(c.sec).Seconds()
+		if math.Abs(got-c.sec) > 1.0/65536+1e-12 {
+			t.Errorf("Short32 round trip %v -> %v", c.sec, got)
+		}
+	}
+	if Short32FromSeconds(-1) != 0 {
+		t.Error("negative short not clamped")
+	}
+	if Short32FromSeconds(1e9) != math.MaxUint32 {
+		t.Error("overflow short not saturated")
+	}
+}
+
+func TestRefIDString(t *testing.T) {
+	p := Packet{Stratum: 1, RefID: RefIDFromString("GPS")}
+	if got := p.RefIDString(); got != "GPS" {
+		t.Errorf("stratum-1 refid = %q", got)
+	}
+	p = Packet{Stratum: 2, RefID: 0xC0A80001}
+	if got := p.RefIDString(); got != "192.168.0.1" {
+		t.Errorf("stratum-2 refid = %q", got)
+	}
+}
+
+func TestTime64FromSecondsNaN(t *testing.T) {
+	if Time64FromSeconds(math.NaN()) != 0 {
+		t.Error("NaN not mapped to zero timestamp")
+	}
+	if Time64FromSeconds(math.Inf(1)) != 0 {
+		t.Error("Inf not mapped to zero timestamp")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := Packet{Version: 4, Mode: ModeServer, Stratum: 1,
+		Receive: Time64FromSeconds(1e9), Transmit: Time64FromSeconds(1e9 + 1e-5)}
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	p := Packet{Version: 4, Mode: ModeServer, Stratum: 1}
+	buf := p.Marshal()
+	var q Packet
+	for i := 0; i < b.N; i++ {
+		if err := q.Unmarshal(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package ntp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Counter abstracts the host's raw timestamp source. On the live path it
+// is a monotonic nanosecond counter; in the simulation it is the modelled
+// TSC register. Reads must be cheap and monotonic non-decreasing.
+type Counter func() uint64
+
+// MonotonicCounter returns a Counter reading nanoseconds of monotonic
+// time since the call, together with its nominal period in seconds
+// (1 ns). This is the live-path stand-in for the TSC register: Go exposes
+// no portable cycle counter, but the runtime's monotonic clock is driven
+// by the same underlying hardware oscillator, so the paper's calibration
+// algorithms apply unchanged with p ~ 1e-9.
+func MonotonicCounter() (Counter, float64) {
+	start := time.Now()
+	return func() uint64 {
+		return uint64(time.Since(start))
+	}, 1e-9
+}
+
+// RawExchange is the result of one NTP client exchange in raw form: the
+// host counter readings bracketing the exchange and the two server
+// timestamps from the payload. This is exactly the per-packet input of
+// the synchronization algorithms.
+type RawExchange struct {
+	// Ta and Tf are host counter readings: Ta just before the request
+	// was passed to the network stack, Tf just after the response
+	// arrived.
+	Ta, Tf uint64
+	// Tb and Te are the server receive and transmit timestamps in
+	// seconds (since the NTP epoch of the current era on the live path;
+	// since the simulation origin on the simulated path).
+	Tb, Te float64
+	// Stratum and RefID identify the server's synchronization source;
+	// RefID changes are a route/server-change signal.
+	Stratum uint8
+	RefID   uint32
+}
+
+// Client performs NTP exchanges over a PacketConn-style transport.
+type Client struct {
+	conn    net.Conn
+	counter Counter
+	timeout time.Duration
+	version uint8
+}
+
+// NewClient returns a client that exchanges NTP packets on conn (already
+// connected to the server address) and stamps with counter. A zero
+// timeout defaults to 4 seconds.
+func NewClient(conn net.Conn, counter Counter, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 4 * time.Second
+	}
+	return &Client{conn: conn, counter: counter, timeout: timeout, version: 4}
+}
+
+// errShortWrite is returned when the transport accepts a partial packet.
+var errShortWrite = errors.New("ntp: short write")
+
+// Exchange sends one client-mode request and waits for the matching
+// server reply, returning the raw four-tuple. The counter is read as
+// close to the send and receive as user space allows; any residual
+// latency appears to the algorithms as network delay and is filtered like
+// any other positive noise, per the paper's Section 2.2.1.
+func (c *Client) Exchange() (RawExchange, error) {
+	var raw RawExchange
+
+	req := Packet{
+		Version: c.version,
+		Mode:    ModeClient,
+		Poll:    6,
+		// Transmit is set to a sentinel so the reply can be matched; we
+		// deliberately do not leak the host clock reading, the raw
+		// counter is what matters.
+		Transmit: Time64FromTime(time.Now()),
+	}
+	buf := req.Marshal()
+
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return raw, fmt.Errorf("ntp: set deadline: %w", err)
+	}
+
+	raw.Ta = c.counter()
+	n, err := c.conn.Write(buf[:])
+	if err != nil {
+		return raw, fmt.Errorf("ntp: send: %w", err)
+	}
+	if n != len(buf) {
+		return raw, errShortWrite
+	}
+
+	var rbuf [512]byte
+	for {
+		n, err := c.conn.Read(rbuf[:])
+		tf := c.counter()
+		if err != nil {
+			return raw, fmt.Errorf("ntp: receive: %w", err)
+		}
+		var resp Packet
+		if err := resp.Unmarshal(rbuf[:n]); err != nil {
+			continue // not an NTP packet; keep waiting until deadline
+		}
+		if resp.Mode != ModeServer || resp.Origin != req.Transmit {
+			continue // stray or stale reply
+		}
+		if resp.Stratum == 0 { // kiss-of-death
+			return raw, fmt.Errorf("ntp: kiss-of-death from server (refid %q)", resp.RefIDString())
+		}
+		raw.Tf = tf
+		raw.Tb = resp.Receive.Seconds()
+		raw.Te = resp.Transmit.Seconds()
+		raw.Stratum = resp.Stratum
+		raw.RefID = resp.RefID
+		return raw, nil
+	}
+}
+
+// ServerClock supplies the server's notion of current time for stamping.
+type ServerClock func() Time64
+
+// SystemServerClock stamps from the OS wall clock.
+func SystemServerClock() ServerClock {
+	return func() Time64 { return Time64FromTime(time.Now()) }
+}
+
+// ServerConfig configures the bundled stratum-1 server.
+type ServerConfig struct {
+	Clock     ServerClock
+	RefID     uint32 // defaults to "GPS"
+	Stratum   uint8  // defaults to 1
+	Precision int8   // defaults to -20 (~1 µs)
+}
+
+// Server is a minimal stratum-1 NTP responder. It answers client-mode
+// requests with server-mode replies carrying receive and transmit
+// stamps, which is all the TSC-NTP calibration consumes.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer constructs a server; nil or zero fields take defaults.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("ntp: server requires a clock")
+	}
+	if cfg.RefID == 0 {
+		cfg.RefID = RefIDFromString("GPS")
+	}
+	if cfg.Stratum == 0 {
+		cfg.Stratum = 1
+	}
+	if cfg.Precision == 0 {
+		cfg.Precision = -20
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Serve answers requests on pc until the connection is closed or a
+// non-timeout error occurs. It processes requests sequentially: NTP
+// server load is negligible at sane polling rates and sequencing keeps
+// receive/transmit stamps ordered.
+func (s *Server) Serve(pc net.PacketConn) error {
+	var buf [512]byte
+	for {
+		n, addr, err := pc.ReadFrom(buf[:])
+		rx := s.cfg.Clock()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+		var req Packet
+		if err := req.Unmarshal(buf[:n]); err != nil {
+			continue
+		}
+		if req.Mode != ModeClient {
+			continue
+		}
+		resp := Packet{
+			Leap:      LeapNone,
+			Version:   req.Version,
+			Mode:      ModeServer,
+			Stratum:   s.cfg.Stratum,
+			Poll:      req.Poll,
+			Precision: s.cfg.Precision,
+			RefID:     s.cfg.RefID,
+			RefTime:   rx,
+			Origin:    req.Transmit,
+			Receive:   rx,
+		}
+		resp.Transmit = s.cfg.Clock()
+		out := resp.Marshal()
+		if _, err := pc.WriteTo(out[:], addr); err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+	}
+}

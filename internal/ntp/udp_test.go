@@ -1,0 +1,169 @@
+package ntp
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// startTestServer runs a stratum-1 server on a loopback UDP socket and
+// returns its address and a shutdown func.
+func startTestServer(t *testing.T, clock ServerClock) (net.Addr, func()) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(pc)
+	}()
+	return pc.LocalAddr(), func() {
+		pc.Close()
+		<-done
+	}
+}
+
+func dial(t *testing.T, addr net.Addr) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestClientServerExchange(t *testing.T) {
+	addr, stop := startTestServer(t, SystemServerClock())
+	defer stop()
+
+	counter, period := MonotonicCounter()
+	c := NewClient(dial(t, addr), counter, 2*time.Second)
+
+	raw, err := c.Exchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Tf <= raw.Ta {
+		t.Errorf("Tf (%d) not after Ta (%d)", raw.Tf, raw.Ta)
+	}
+	rtt := float64(raw.Tf-raw.Ta) * period
+	if rtt <= 0 || rtt > 1 {
+		t.Errorf("loopback RTT %v implausible", rtt)
+	}
+	if raw.Te < raw.Tb {
+		t.Errorf("server transmit %v before receive %v", raw.Te, raw.Tb)
+	}
+	if raw.Stratum != 1 {
+		t.Errorf("stratum = %d", raw.Stratum)
+	}
+	if raw.RefID != RefIDFromString("GPS") {
+		t.Errorf("refid = %x", raw.RefID)
+	}
+}
+
+func TestClientRepeatedExchanges(t *testing.T) {
+	addr, stop := startTestServer(t, SystemServerClock())
+	defer stop()
+
+	counter, _ := MonotonicCounter()
+	c := NewClient(dial(t, addr), counter, 2*time.Second)
+
+	var prevTf uint64
+	for i := 0; i < 10; i++ {
+		raw, err := c.Exchange()
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if raw.Tf <= prevTf {
+			t.Errorf("counter not monotonic across exchanges: %d <= %d", raw.Tf, prevTf)
+		}
+		prevTf = raw.Tf
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A socket with no server behind it must produce a timeout error.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr()
+	pc.Close() // nothing listening anymore
+
+	counter, _ := MonotonicCounter()
+	c := NewClient(dial(t, addr), counter, 200*time.Millisecond)
+	if _, err := c.Exchange(); err == nil {
+		t.Error("exchange against dead server succeeded")
+	}
+}
+
+func TestServerIgnoresNonClientPackets(t *testing.T) {
+	addr, stop := startTestServer(t, SystemServerClock())
+	defer stop()
+
+	conn := dial(t, addr)
+	// A server-mode packet must be ignored, then a real request served.
+	bogus := Packet{Version: 4, Mode: ModeServer}
+	bb := bogus.Marshal()
+	if _, err := conn.Write(bb[:]); err != nil {
+		t.Fatal(err)
+	}
+	counter, _ := MonotonicCounter()
+	c := NewClient(conn, counter, 2*time.Second)
+	if _, err := c.Exchange(); err != nil {
+		t.Fatalf("exchange after bogus packet: %v", err)
+	}
+}
+
+func TestServerKissOfDeathSurfaced(t *testing.T) {
+	// A stratum-0 reply must surface as an error, not as data.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		var buf [512]byte
+		n, addr, err := pc.ReadFrom(buf[:])
+		if err != nil {
+			return
+		}
+		var req Packet
+		if err := req.Unmarshal(buf[:n]); err != nil {
+			return
+		}
+		resp := Packet{Version: 4, Mode: ModeServer, Stratum: 0,
+			RefID: RefIDFromString("RATE"), Origin: req.Transmit}
+		out := resp.Marshal()
+		pc.WriteTo(out[:], addr)
+	}()
+
+	counter, _ := MonotonicCounter()
+	c := NewClient(dial(t, pc.LocalAddr()), counter, 2*time.Second)
+	if _, err := c.Exchange(); err == nil {
+		t.Error("kiss-of-death not surfaced as error")
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	counter, period := MonotonicCounter()
+	if period != 1e-9 {
+		t.Errorf("period = %v", period)
+	}
+	a := counter()
+	time.Sleep(2 * time.Millisecond)
+	b := counter()
+	if b <= a {
+		t.Error("monotonic counter did not advance")
+	}
+	if d := float64(b-a) * period; d < 1e-3 || d > 1 {
+		t.Errorf("2 ms sleep measured as %v s", d)
+	}
+}

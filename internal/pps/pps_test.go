@@ -1,0 +1,182 @@
+package pps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/oscillator"
+	"repro/internal/timebase"
+)
+
+func TestValidate(t *testing.T) {
+	if _, err := NewSync(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewSync(Config{PHatInit: 1e-9, Window: 2, Warmup: 2}); err == nil {
+		t.Error("tiny window accepted")
+	}
+	if _, err := NewSync(DefaultConfig(1e-9)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// calibrate runs n pulses through a fresh engine on a machine-room
+// oscillator and returns the engine plus the oscillator.
+func calibrate(t *testing.T, n int, seed uint64) (*Sync, *oscillator.Oscillator) {
+	t.Helper()
+	osc, err := oscillator.New(oscillator.MachineRoom(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(osc, netem.DefaultHostStamp(), 100*timebase.Nanosecond, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSync(DefaultConfig(1 / osc.Config().NominalHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c, sec := src.Pulse()
+		if _, err := s.ProcessPulse(c, sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, osc
+}
+
+func TestRateConvergence(t *testing.T) {
+	s, osc := calibrate(t, 3600, 21) // one hour of pulses
+	p, _ := s.Clock()
+	if e := math.Abs(timebase.PPM(p/osc.MeanPeriod() - 1)); e > 0.05 {
+		t.Errorf("rate error %v PPM after 1h of PPS", e)
+	}
+}
+
+func TestSubMicrosecondOffset(t *testing.T) {
+	s, osc := calibrate(t, 1800, 22)
+	// Read the absolute clock at an arbitrary instant and compare with
+	// truth; sub-5µs expected (bounded by the base capture latency).
+	tt := 1700.0
+	got := s.AbsoluteTime(osc.ReadTSC(tt))
+	if d := math.Abs(got - tt); d > 5*timebase.Microsecond {
+		t.Errorf("TSC-GPS absolute error %v, want sub-5µs", d)
+	}
+}
+
+func TestBeatsNTPScaleAccuracy(t *testing.T) {
+	// The TSC-GPS clock must land well under the ~30 µs TSC-NTP regime
+	// when read near the calibration window (reading far in the past
+	// extrapolates against oscillator wander, as for any clock).
+	s, osc := calibrate(t, 3600, 23)
+	var worst float64
+	for _, tt := range []float64{3520, 3550, 3575, 3595} {
+		if d := math.Abs(s.AbsoluteTime(osc.ReadTSC(tt)) - tt); d > worst {
+			worst = d
+		}
+	}
+	if worst > 10*timebase.Microsecond {
+		t.Errorf("worst TSC-GPS error %v", worst)
+	}
+}
+
+func TestPulseOrderEnforced(t *testing.T) {
+	s, err := NewSync(DefaultConfig(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProcessPulse(1_000_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProcessPulse(999_999_999, 2); err == nil {
+		t.Error("out-of-order pulse accepted")
+	}
+}
+
+func TestMissedPulsesTolerated(t *testing.T) {
+	osc, err := oscillator.New(oscillator.MachineRoom(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(osc, netem.DefaultHostStamp(), 100*timebase.Nanosecond, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSync(DefaultConfig(1 / osc.Config().NominalHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1200; i++ {
+		c, sec := src.Pulse()
+		if i%3 == 1 || (i > 600 && i < 700) { // heavy loss incl. a gap
+			continue
+		}
+		if _, err := s.ProcessPulse(c, sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tt := 1150.0
+	if d := math.Abs(s.AbsoluteTime(osc.ReadTSC(tt)) - tt); d > 10*timebase.Microsecond {
+		t.Errorf("error %v under pulse loss", d)
+	}
+}
+
+func TestResidualNonNegativeAfterSettle(t *testing.T) {
+	osc, err := oscillator.New(oscillator.MachineRoom(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(osc, netem.DefaultHostStamp(), 100*timebase.Nanosecond, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSync(DefaultConfig(1 / osc.Config().NominalHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		c, sec := src.Pulse()
+		res, err := s.ProcessPulse(c, sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After settling, residuals (relative to θ̂, the window minimum)
+		// are capture latencies: non-negative up to reference jitter.
+		if i > 200 && res.Residual-res.Theta < -2*timebase.Microsecond {
+			t.Fatalf("pulse %d: residual %v below window minimum %v", i, res.Residual, res.Theta)
+		}
+	}
+}
+
+func BenchmarkProcessPulse(b *testing.B) {
+	osc, err := oscillator.New(oscillator.MachineRoom(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := NewSource(osc, netem.DefaultHostStamp(), 100*timebase.Nanosecond, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type pulseRec struct {
+		c uint64
+		s float64
+	}
+	pulses := make([]pulseRec, 10000)
+	for i := range pulses {
+		c, sec := src.Pulse()
+		pulses[i] = pulseRec{c, sec}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSync(DefaultConfig(1 / osc.Config().NominalHz))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pulses {
+			if _, err := s.ProcessPulse(p.c, p.s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

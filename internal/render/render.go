@@ -1,0 +1,190 @@
+// Package render draws experiment series as Unicode terminal plots, so
+// the regenerated figures are inspectable without leaving the shell:
+// scatter/line charts for time series (Figures 2, 4-8, 11), log-log
+// charts for stability curves (Figure 3), and bar histograms
+// (Figure 12). It deliberately depends only on the trace table type.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Options control chart geometry.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 16)
+	LogX   bool
+	LogY   bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// markers used for successive series.
+var markers = []rune{'·', '+', 'x', 'o', '*'}
+
+// Chart plots the table's first column as x against every other column
+// as a separate series.
+func Chart(t *trace.Table, title string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	cols := t.Columns()
+	if len(cols) < 2 {
+		return "", fmt.Errorf("render: need at least 2 columns, have %d", len(cols))
+	}
+	if t.Len() == 0 {
+		return "", fmt.Errorf("render: empty table")
+	}
+
+	tx := func(v float64) (float64, bool) { return v, true }
+	ty := tx
+	if opts.LogX {
+		tx = logT
+	}
+	if opts.LogY {
+		ty = logT
+	}
+
+	// Data ranges after transform.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		x, okx := tx(row[0])
+		if !okx {
+			continue
+		}
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+		for _, v := range row[1:] {
+			if y, ok := ty(v); ok {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || math.IsInf(ymin, 1) {
+		return "", fmt.Errorf("render: no plottable points (log of non-positive data?)")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, opts.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opts.Width))
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		x, okx := tx(row[0])
+		if !okx {
+			continue
+		}
+		cx := int((x - xmin) / (xmax - xmin) * float64(opts.Width-1))
+		for s, v := range row[1:] {
+			y, ok := ty(v)
+			if !ok {
+				continue
+			}
+			cy := opts.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opts.Height-1))
+			m := markers[s%len(markers)]
+			if cur := grid[cy][cx]; cur != ' ' && cur != m {
+				grid[cy][cx] = '#' // overlapping series
+			} else {
+				grid[cy][cx] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLab := func(v float64) string {
+		if opts.LogY {
+			return fmt.Sprintf("%11.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%11.3g", v)
+	}
+	for r, line := range grid {
+		lab := strings.Repeat(" ", 11)
+		switch r {
+		case 0:
+			lab = yLab(ymax)
+		case opts.Height - 1:
+			lab = yLab(ymin)
+		case (opts.Height - 1) / 2:
+			lab = yLab((ymin + ymax) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", lab, string(line))
+	}
+	xLab := func(v float64) string {
+		if opts.LogX {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	left, right := xLab(xmin), xLab(xmax)
+	pad := opts.Width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s   (x: %s)\n", strings.Repeat(" ", 10),
+		left, strings.Repeat(" ", pad), right, cols[0])
+	var legend []string
+	for s, c := range cols[1:] {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[s%len(markers)], c))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	return b.String(), nil
+}
+
+// logT maps to log10, rejecting non-positive values.
+func logT(v float64) (float64, bool) {
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Histogram renders a two-column (bin center, fraction) table as a
+// horizontal bar chart, the Figure-12 presentation.
+func Histogram(t *trace.Table, title string, width int) (string, error) {
+	if len(t.Columns()) != 2 {
+		return "", fmt.Errorf("render: histogram needs exactly 2 columns")
+	}
+	if t.Len() == 0 {
+		return "", fmt.Errorf("render: empty table")
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxFrac := 0.0
+	for i := 0; i < t.Len(); i++ {
+		if f := t.Row(i)[1]; f > maxFrac {
+			maxFrac = f
+		}
+	}
+	if maxFrac == 0 {
+		maxFrac = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		n := int(row[1] / maxFrac * float64(width))
+		fmt.Fprintf(&b, "%10.3g |%s %0.2f%%\n", row[0], strings.Repeat("█", n), row[1]*100)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,134 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func lineTable(t *testing.T) *trace.Table {
+	t.Helper()
+	tab := trace.NewTable("t_s", "a", "b")
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		if err := tab.Append(x, math.Sin(x/8), math.Cos(x/8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestChartBasics(t *testing.T) {
+	out, err := Chart(lineTable(t), "two waves", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "two waves") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "·") || !strings.Contains(out, "+") {
+		t.Error("series markers missing")
+	}
+	if !strings.Contains(out, "(x: t_s)") {
+		t.Error("x axis label missing")
+	}
+	if !strings.Contains(out, "· a") || !strings.Contains(out, "+ b") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + legend
+	if len(lines) != 1+16+1+1 {
+		t.Errorf("chart has %d lines", len(lines))
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	one := trace.NewTable("only")
+	if _, err := Chart(one, "t", Options{}); err == nil {
+		t.Error("single-column table accepted")
+	}
+	empty := trace.NewTable("x", "y")
+	if _, err := Chart(empty, "t", Options{}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestChartLogLog(t *testing.T) {
+	tab := trace.NewTable("tau", "dev")
+	for m := 1; m <= 1024; m *= 2 {
+		if err := tab.Append(float64(m)*16, 1e-7/float64(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Chart(tab, "allan", Options{LogX: true, LogY: true, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1/tau law is a straight diagonal in log-log: the marker must
+	// appear in both the top and bottom rows.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "·") {
+		t.Error("top row empty for log-log diagonal")
+	}
+	if !strings.Contains(lines[10], "·") {
+		t.Error("bottom row empty for log-log diagonal")
+	}
+}
+
+func TestChartLogRejectsNonPositive(t *testing.T) {
+	tab := trace.NewTable("x", "y")
+	if err := tab.Append(-1, -2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Chart(tab, "t", Options{LogX: true, LogY: true}); err == nil {
+		t.Error("all-negative log chart accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	tab := trace.NewTable("x", "y")
+	for i := 0; i < 5; i++ {
+		if err := tab.Append(float64(i), 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Chart(tab, "const", Options{}); err != nil {
+		t.Errorf("constant series rejected: %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	tab := trace.NewTable("center", "fraction")
+	for i, f := range []float64{0.05, 0.3, 0.5, 0.15} {
+		if err := tab.Append(float64(i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Histogram(tab, "dist", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dist") {
+		t.Error("title missing")
+	}
+	// The 0.5 bin must have the longest bar (20 chars).
+	if !strings.Contains(out, strings.Repeat("█", 20)) {
+		t.Error("max bin bar wrong length")
+	}
+	if !strings.Contains(out, "50.00%") {
+		t.Error("percent label missing")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	bad := trace.NewTable("a", "b", "c")
+	if _, err := Histogram(bad, "t", 10); err == nil {
+		t.Error("3-column histogram accepted")
+	}
+	empty := trace.NewTable("a", "b")
+	if _, err := Histogram(empty, "t", 10); err == nil {
+		t.Error("empty histogram accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+// TestCorrectedStampOrdering: the corrected receive stamp removes only
+// the detectable excess latency, so TfCorr is never after Tf and never
+// before the true arrival.
+func TestCorrectedStampOrdering(t *testing.T) {
+	tr, err := Generate(shortScenario(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Osc.MeanPeriod()
+	excursions := 0
+	for _, e := range tr.Completed() {
+		if e.TfCorr > e.Tf {
+			t.Fatalf("corrected stamp %d after raw stamp %d", e.TfCorr, e.Tf)
+		}
+		if e.TfCorr < e.Tf {
+			excursions++
+		}
+		// The corrected stamp still trails the true arrival by the base
+		// interrupt latency: a few µs, never more than ~20 µs.
+		lag := timebase.CounterSpan(tr.Osc.ReadTSC(e.TrueTf), e.TfCorr, p)
+		if lag < -1e-9 || lag > 20*timebase.Microsecond {
+			t.Fatalf("corrected stamp lag %v outside the base mode", lag)
+		}
+	}
+	if excursions == 0 {
+		t.Error("no correctable excursions in the whole trace")
+	}
+}
+
+// TestCorrectedStampReducesNoise: the detrended offset series built from
+// corrected stamps must have a smaller spread than from raw stamps
+// (the paper's reason for the correction, Section 2.4/Figure 3).
+func TestCorrectedStampReducesNoise(t *testing.T) {
+	tr, err := Generate(NewScenario(MachineRoom, ServerInt(), 16, 12*timebase.Hour, 92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := tr.Completed()
+	spread := func(corrected bool) float64 {
+		stamp := func(e Exchange) uint64 {
+			if corrected {
+				return e.TfCorr
+			}
+			return e.Tf
+		}
+		first, last := ex[0], ex[len(ex)-1]
+		pBar := (last.Tg - first.Tg) / float64(stamp(last)-stamp(first))
+		var maxDev, minDev float64
+		for _, e := range ex {
+			th := float64(stamp(e)-stamp(first))*pBar - (e.Tg - first.Tg)
+			if th > maxDev {
+				maxDev = th
+			}
+			if th < minDev {
+				minDev = th
+			}
+		}
+		return maxDev - minDev
+	}
+	raw, corr := spread(false), spread(true)
+	if corr >= raw {
+		t.Errorf("corrected spread %v not below raw %v", corr, raw)
+	}
+}

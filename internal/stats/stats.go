@@ -1,0 +1,192 @@
+// Package stats provides the robust summary statistics the paper's
+// evaluation reports: percentiles (Figure 9/10 plot the 1/25/50/75/99
+// percentile curves), medians and inter-quartile ranges (Figure 12), and
+// fixed-bin histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between order statistics. It panics on empty
+// input or out-of-range p; callers own input validation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return percentileSorted(cp, p)
+}
+
+// percentileSorted computes a percentile of an already-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// IQR returns the inter-quartile range (75th − 25th percentile).
+func IQR(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return percentileSorted(cp, 75) - percentileSorted(cp, 25)
+}
+
+// Quantiles evaluates several percentiles with a single sort.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("stats: percentile %v out of range", p))
+		}
+		out[i] = percentileSorted(cp, p)
+	}
+	return out
+}
+
+// PaperPercentiles are the five percentile levels plotted throughout the
+// paper's sensitivity figures, top curve to bottom curve.
+var PaperPercentiles = []float64{99, 75, 50, 25, 1}
+
+// FiveNum reports the paper's five percentile curves for one sample.
+type FiveNum struct {
+	P99, P75, P50, P25, P01 float64
+}
+
+// FiveNumOf computes the paper's five percentiles.
+func FiveNumOf(xs []float64) FiveNum {
+	q := Quantiles(xs, PaperPercentiles...)
+	return FiveNum{P99: q[0], P75: q[1], P50: q[2], P25: q[3], P01: q[4]}
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n−1 denominator).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		panic("stats: Std needs at least 2 samples")
+	}
+	m := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(xs)-1))
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+	N           int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins must be >= 1")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid range [%v, %v)", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h, nil
+}
+
+// Add accumulates one value.
+func (h *Histogram) Add(x float64) {
+	h.N++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) { // guard float edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of all added values that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// CoverageBounds returns the narrowest [lo, hi] interval that contains
+// the central frac (e.g. 0.99) of the sample, as used for Figure 12's
+// "exactly 99% of all values" histograms.
+func CoverageBounds(xs []float64, frac float64) (lo, hi float64) {
+	if frac <= 0 || frac > 1 {
+		panic("stats: coverage fraction out of (0, 1]")
+	}
+	tail := (1 - frac) / 2 * 100
+	q := Quantiles(xs, tail, 100-tail)
+	return q[0], q[1]
+}

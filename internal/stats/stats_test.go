@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	// Interpolation: P10 of [1..5] is 1.4.
+	if got := Percentile(xs, 10); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("P10 = %v, want 1.4", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+		func() { Mean(nil) },
+		func() { Std([]float64{1}) },
+		func() { MinMax(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileOrderingQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := Quantiles(xs, 1, 25, 50, 75, 99)
+		return sort.Float64sAreSorted(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianIQRGaussian(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = src.Normal(10, 2)
+	}
+	if med := Median(xs); math.Abs(med-10) > 0.05 {
+		t.Errorf("median = %v", med)
+	}
+	// IQR of a Gaussian is 1.349σ.
+	if iqr := IQR(xs); math.Abs(iqr-1.349*2) > 0.05 {
+		t.Errorf("IQR = %v, want ~%v", iqr, 1.349*2)
+	}
+}
+
+func TestFiveNumOf(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	fn := FiveNumOf(xs)
+	if !(fn.P01 < fn.P25 && fn.P25 < fn.P50 && fn.P50 < fn.P75 && fn.P75 < fn.P99) {
+		t.Errorf("five-number summary not ordered: %+v", fn)
+	}
+	if math.Abs(fn.P50-499.5) > 1 {
+		t.Errorf("P50 = %v", fn.P50)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("std = %v", s)
+	}
+	lo, hi := MinMax(xs)
+	if lo != 2 || hi != 9 {
+		t.Errorf("minmax = %v, %v", lo, hi)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{-1, 0, 0.5, 0.999, 1, 5}, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 1 || h.Counts[2] != 1 || h.Counts[3] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.N != 6 {
+		t.Errorf("N = %d", h.N)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.125) > 1e-12 {
+		t.Errorf("bin 0 center = %v", c)
+	}
+	if f := h.Fraction(0); math.Abs(f-1.0/6) > 1e-12 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramEdgeValue(t *testing.T) {
+	// A value infinitesimally below Hi must land in the last bin, not
+	// out of range, even under float rounding.
+	h, err := NewHistogram(nil, 0, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Nextafter(0.3, 0))
+	if h.Counts[2] != 1 || h.Over != 0 {
+		t.Errorf("edge value: counts=%v over=%d", h.Counts, h.Over)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	lo, hi := CoverageBounds(xs, 0.99)
+	if lo > 100 || lo < 0 {
+		t.Errorf("lo = %v", lo)
+	}
+	if hi < 9899 || hi > 9999 {
+		t.Errorf("hi = %v", hi)
+	}
+	inside := 0
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			inside++
+		}
+	}
+	if frac := float64(inside) / float64(len(xs)); math.Abs(frac-0.99) > 0.005 {
+		t.Errorf("coverage = %v", frac)
+	}
+}
+
+func TestQuantilesSingleSortConsistent(t *testing.T) {
+	src := rng.New(8)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	q := Quantiles(xs, 1, 50, 99)
+	if q[0] != Percentile(xs, 1) || q[1] != Percentile(xs, 50) || q[2] != Percentile(xs, 99) {
+		t.Error("Quantiles disagrees with Percentile")
+	}
+}
+
+func BenchmarkQuantiles(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Quantiles(xs, PaperPercentiles...)
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace provides lightweight tabular export of experiment
+// artifacts: every regenerated table and figure series can be written as
+// TSV for external plotting, mirroring how the paper's own data products
+// (offset error series, Allan curves, sensitivity sweeps) would be
+// shared.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Table is a column-ordered set of float64 series with a shared length.
+type Table struct {
+	columns []string
+	rows    [][]float64
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(columns ...string) *Table {
+	return &Table{columns: append([]string(nil), columns...)}
+}
+
+// Columns returns the column names.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append adds one row; the value count must match the column count.
+func (t *Table) Append(values ...float64) error {
+	if len(values) != len(t.columns) {
+		return fmt.Errorf("trace: row has %d values, table has %d columns", len(values), len(t.columns))
+	}
+	t.rows = append(t.rows, append([]float64(nil), values...))
+	return nil
+}
+
+// Row returns row i (borrowed, do not mutate).
+func (t *Table) Row(i int) []float64 { return t.rows[i] }
+
+// WriteTSV streams the table as tab-separated values with a header line.
+func (t *Table) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, c := range t.columns {
+		if i > 0 {
+			if err := bw.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(c); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		for i, v := range row {
+			if i > 0 {
+				if err := bw.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', 12, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveTSV writes the table to a file, creating parent directories.
+func (t *Table) SaveTSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTSV parses a table previously written by WriteTSV.
+func ReadTSV(r io.Reader) (*Table, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	if !br.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	head := splitTabs(br.Text())
+	t := NewTable(head...)
+	line := 1
+	for br.Scan() {
+		line++
+		fields := splitTabs(br.Text())
+		if len(fields) != len(head) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), len(head))
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, br.Err()
+}
+
+func splitTabs(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\t' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	tab := NewTable("t", "offset_us", "rtt_ms")
+	if err := tab.Append(0, -31.2, 0.89); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(16, -29.8, 0.91); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	cols := got.Columns()
+	if len(cols) != 3 || cols[1] != "offset_us" {
+		t.Fatalf("columns = %v", cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := range cols {
+			if math.Abs(got.Row(i)[j]-tab.Row(i)[j]) > 1e-12 {
+				t.Errorf("cell (%d,%d) = %v, want %v", i, j, got.Row(i)[j], tab.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestAppendArityChecked(t *testing.T) {
+	tab := NewTable("a", "b")
+	if err := tab.Append(1); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tab.Append(1, 2, 3); err == nil {
+		t.Error("long row accepted")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("a\tb\n1\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("a\nxyz\n")); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestSaveTSVCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deep", "out.tsv")
+	tab := NewTable("x")
+	if err := tab.Append(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SaveTSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x\n42") {
+		t.Errorf("file contents %q", data)
+	}
+}
+
+func TestPrecisionPreserved(t *testing.T) {
+	tab := NewTable("v")
+	vals := []float64{-3.1e-05, 1.8226381e-09, 123456.789012}
+	for _, v := range vals {
+		if err := tab.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if rel := math.Abs(got.Row(i)[0]-v) / math.Abs(v); rel > 1e-11 {
+			t.Errorf("value %v round-tripped to %v", v, got.Row(i)[0])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package tscclock
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/ntp"
+)
+
+// LiveOptions configures a live UDP synchronizer.
+type LiveOptions struct {
+	// Server is the NTP server address ("host:123").
+	Server string
+	// Poll is the polling interval. Default: 64 s. Be conservative:
+	// public stratum-1 servers must not be overloaded.
+	Poll time.Duration
+	// Timeout bounds each exchange. Default: 4 s.
+	Timeout time.Duration
+	// Clock carries the calibration options. NominalPeriod defaults to
+	// 1 ns (the monotonic counter's resolution); PollPeriod is derived
+	// from Poll.
+	Clock Options
+}
+
+// Live runs the full TSC-NTP pipeline against a real NTP server over
+// UDP: raw monotonic counter stamps on the host side, standard NTP
+// packets on the wire, and the robust calibration algorithms in between.
+type Live struct {
+	clock   *Clock
+	client  *ntp.Client
+	conn    net.Conn
+	counter ntp.Counter
+	poll    time.Duration
+}
+
+// DialLive connects to the server and prepares the synchronizer. Call
+// Step for single exchanges or Run for a polling loop.
+func DialLive(opts LiveOptions) (*Live, error) {
+	if opts.Server == "" {
+		return nil, fmt.Errorf("tscclock: LiveOptions.Server is required")
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 64 * time.Second
+	}
+	counter, period := ntp.MonotonicCounter()
+	clockOpts := opts.Clock
+	if clockOpts.NominalPeriod == 0 {
+		clockOpts.NominalPeriod = period
+	}
+	if clockOpts.PollPeriod == 0 {
+		clockOpts.PollPeriod = poll.Seconds()
+	}
+	clock, err := New(clockOpts)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("udp", opts.Server)
+	if err != nil {
+		return nil, fmt.Errorf("tscclock: dial %s: %w", opts.Server, err)
+	}
+	return &Live{
+		clock:   clock,
+		client:  ntp.NewClient(conn, counter, opts.Timeout),
+		conn:    conn,
+		counter: counter,
+		poll:    poll,
+	}, nil
+}
+
+// Clock returns the underlying calibrated clock.
+func (l *Live) Clock() *Clock { return l.clock }
+
+// Counter reads the raw host counter, for timestamping events that will
+// later be converted with the calibrated clock.
+func (l *Live) Counter() uint64 { return l.counter() }
+
+// Step performs one NTP exchange and feeds it to the clock, including
+// the server's identity for server-change detection. A failed exchange
+// (timeout, loss) returns an error and feeds nothing — exactly the
+// lost-packet behaviour the algorithms are designed for.
+func (l *Live) Step() (Status, error) {
+	raw, err := l.client.Exchange()
+	if err != nil {
+		return Status{}, err
+	}
+	return l.clock.ProcessNTPExchangeFrom(raw.Ta, raw.Tf, raw.Tb, raw.Te, raw.RefID, raw.Stratum)
+}
+
+// Run polls until the context is cancelled. Exchange failures are
+// tolerated silently (the clock coasts on its calibration); persistent
+// protocol errors are only surfaced through OnStep if installed.
+func (l *Live) Run(ctx context.Context, onStep func(Status, error)) error {
+	ticker := time.NewTicker(l.poll)
+	defer ticker.Stop()
+	for {
+		st, err := l.Step()
+		if onStep != nil {
+			onStep(st, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// RunAdaptive polls with intervals recommended by the Poller: fast
+// during warmup and after disturbances, backing off to the poller's
+// maximum once calibrated (the paper's controlled-emission extension).
+func (l *Live) RunAdaptive(ctx context.Context, p *Poller, onStep func(Status, error)) error {
+	if p == nil {
+		p = NewPoller(0, l.poll)
+	}
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+		}
+		st, err := l.Step()
+		if onStep != nil {
+			onStep(st, err)
+		}
+		timer.Reset(p.Observe(st, err))
+	}
+}
+
+// Now reads the absolute clock as a wall-clock time, resolving the NTP
+// era with the system clock as pivot.
+func (l *Live) Now() time.Time {
+	sec := l.clock.AbsoluteTime(l.counter())
+	return ntp.Time64FromSeconds(sec).Time(time.Now())
+}
+
+// Close releases the UDP socket.
+func (l *Live) Close() error { return l.conn.Close() }

@@ -1,0 +1,121 @@
+package tscclock
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPollerDefaults(t *testing.T) {
+	p := NewPoller(0, 0)
+	if p.Interval() != 16*time.Second {
+		t.Errorf("default min = %v", p.Interval())
+	}
+	p2 := NewPoller(time.Minute, time.Second) // max < min
+	if p2.Observe(Status{}, nil) < time.Minute {
+		t.Error("max not clamped to min")
+	}
+}
+
+func TestPollerBackoff(t *testing.T) {
+	p := NewPoller(16*time.Second, 256*time.Second)
+	quiet := Status{Warmup: false}
+	intervals := []time.Duration{}
+	for i := 0; i < 8; i++ {
+		intervals = append(intervals, p.Observe(quiet, nil))
+	}
+	want := []time.Duration{32, 64, 128, 256, 256, 256, 256, 256}
+	for i, w := range want {
+		if intervals[i] != w*time.Second {
+			t.Errorf("step %d: interval %v, want %vs", i, intervals[i], w)
+		}
+	}
+}
+
+func TestPollerFastDuringWarmup(t *testing.T) {
+	p := NewPoller(16*time.Second, 256*time.Second)
+	if got := p.Observe(Status{Warmup: true}, nil); got != 16*time.Second {
+		t.Errorf("warmup interval %v", got)
+	}
+}
+
+func TestPollerResetsOnTrouble(t *testing.T) {
+	p := NewPoller(16*time.Second, 1024*time.Second)
+	for i := 0; i < 6; i++ {
+		p.Observe(Status{}, nil)
+	}
+	if p.Interval() <= 16*time.Second {
+		t.Fatal("backoff did not progress")
+	}
+	for _, st := range []Status{
+		{UpwardShiftDetected: true},
+		{OffsetSanity: true},
+		{PoorQuality: true},
+	} {
+		p2 := *p
+		if got := p2.Observe(st, nil); got != 16*time.Second {
+			t.Errorf("trouble %+v: interval %v, want min", st, got)
+		}
+	}
+	if got := p.Observe(Status{}, errors.New("timeout")); got != 16*time.Second {
+		t.Errorf("exchange error: interval %v, want min", got)
+	}
+}
+
+func TestRunAdaptiveAgainstServer(t *testing.T) {
+	addr := startServer(t)
+	l, err := DialLive(LiveOptions{Server: addr.String(), Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	p := NewPoller(10*time.Millisecond, 80*time.Millisecond)
+	steps := 0
+	err = l.RunAdaptive(ctx, p, func(st Status, err error) {
+		if err == nil {
+			steps++
+		}
+	})
+	if err != context.DeadlineExceeded {
+		t.Errorf("RunAdaptive returned %v", err)
+	}
+	if steps < 3 {
+		t.Errorf("only %d steps", steps)
+	}
+}
+
+func TestServerChangedSurfaced(t *testing.T) {
+	c, err := New(Options{NominalPeriod: 2e-9, PollPeriod: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 2e-9
+	counter := uint64(1000)
+	serverT := 0.0
+	feed := func(refid uint32) Status {
+		counter += uint64(16 / p)
+		serverT += 16
+		rtt := 400e-6
+		st, err := c.ProcessNTPExchangeFrom(counter, counter+uint64(rtt/p),
+			serverT+rtt/3, serverT+rtt/3+20e-6, refid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	for i := 0; i < 5; i++ {
+		if st := feed(100); st.ServerChanged {
+			t.Fatal("spurious server change")
+		}
+	}
+	if st := feed(200); !st.ServerChanged {
+		t.Error("server change not surfaced")
+	}
+	if st := feed(200); st.ServerChanged {
+		t.Error("steady new server still reported as change")
+	}
+}

@@ -1,0 +1,273 @@
+// Package tscclock is a from-scratch Go implementation of the robust
+// software clock synchronization system of Veitch, Babu & Pásztor,
+// "Robust Synchronization of Software Clocks Across the Internet"
+// (IMC 2004) — the precursor of the RADclock / feed-forward clock
+// family.
+//
+// The clock is built on a raw monotonic counter (the TSC register in the
+// paper; any stable cycle counter works) and calibrated from the normal
+// flow of NTP packets against a nearby stratum-1 server. Unlike the
+// classic feedback-disciplined SW-NTP clock, calibration is rate-centric
+// and filtering is decoupled from estimation, which makes the clock
+// robust to packet loss, server outages, route changes, congestion and
+// even faulty server timestamps.
+//
+// Two clocks are exposed, as the paper argues they must be:
+//
+//   - the difference clock measures time intervals with the smooth rate
+//     estimate p̂ only — accurate to ~0.1 PPM, ideal below the SKM scale
+//     (~1000 s);
+//   - the absolute clock additionally corrects the offset estimate θ̂ —
+//     accurate to tens of microseconds against a good server.
+//
+// Feed completed NTP exchanges to Clock.ProcessNTPExchange, or use Live
+// to run the whole pipeline over UDP against a real NTP server.
+package tscclock
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/timebase"
+)
+
+// Options configures a Clock. Zero values take the paper's defaults.
+type Options struct {
+	// NominalPeriod is the a-priori duration of one counter cycle in
+	// seconds (e.g. 1/548655270 for a 548.66 MHz TSC, or 1e-9 for a
+	// nanosecond-resolution monotonic counter). Required.
+	NominalPeriod float64
+
+	// PollPeriod is the nominal NTP polling period in seconds.
+	// Default: 64.
+	PollPeriod float64
+
+	// UseLocalRate enables the quasi-local rate refinement (p̂_l) and
+	// linear prediction in the offset estimate.
+	UseLocalRate bool
+
+	// Delta overrides the host timestamping error unit δ (default 15 µs;
+	// raise it for user-space timestamping).
+	Delta float64
+
+	// Advanced exposes every algorithm parameter for research use; when
+	// non-nil it takes precedence over the fields above except
+	// NominalPeriod and PollPeriod.
+	Advanced *AdvancedOptions
+}
+
+// AdvancedOptions mirrors the full parameter set of the paper's
+// algorithms; see the package documentation of the fields' namesakes in
+// Section 5 of the paper.
+type AdvancedOptions struct {
+	TauStar              float64 // SKM scale τ* (s)
+	EStarFactor          float64 // rate acceptance threshold, ×δ
+	LocalRateWindow      float64 // τ̄ (s)
+	LocalRateW           int     // W
+	LocalRateQualityPPM  float64 // γ* (PPM)
+	RateSanity           float64 // local-rate sanity bound
+	OffsetWindow         float64 // τ′ (s)
+	EFactor              float64 // offset quality width, ×δ
+	AgingRatePPM         float64 // ε (PPM)
+	EStarStarFactor      float64 // poor-quality fallback, ×E
+	OffsetSanity         float64 // E_s (s)
+	TopWindow            float64 // T (s)
+	WarmupSamples        int     // T_w (packets)
+	ShiftWindow          float64 // T_s (s)
+	ShiftThresholdFactor float64 // upward-shift trigger, ×E
+}
+
+// buildConfig lowers Options onto the engine configuration.
+func (o Options) buildConfig() core.Config {
+	poll := o.PollPeriod
+	if poll == 0 {
+		poll = 64
+	}
+	cfg := core.DefaultConfig(o.NominalPeriod, poll)
+	cfg.UseLocalRate = o.UseLocalRate
+	if o.Delta > 0 {
+		cfg.Delta = o.Delta
+	}
+	if a := o.Advanced; a != nil {
+		if a.TauStar > 0 {
+			cfg.TauStar = a.TauStar
+		}
+		if a.EStarFactor > 0 {
+			cfg.EStarFactor = a.EStarFactor
+		}
+		if a.LocalRateWindow > 0 {
+			cfg.LocalRateWindow = a.LocalRateWindow
+		}
+		if a.LocalRateW > 0 {
+			cfg.LocalRateW = a.LocalRateW
+		}
+		if a.LocalRateQualityPPM > 0 {
+			cfg.LocalRateQuality = timebase.FromPPM(a.LocalRateQualityPPM)
+		}
+		if a.RateSanity > 0 {
+			cfg.RateSanity = a.RateSanity
+		}
+		if a.OffsetWindow > 0 {
+			cfg.OffsetWindow = a.OffsetWindow
+		}
+		if a.EFactor > 0 {
+			cfg.EFactor = a.EFactor
+		}
+		if a.AgingRatePPM > 0 {
+			cfg.AgingRate = timebase.FromPPM(a.AgingRatePPM)
+		}
+		if a.EStarStarFactor > 0 {
+			cfg.EStarStarFactor = a.EStarStarFactor
+		}
+		if a.OffsetSanity > 0 {
+			cfg.OffsetSanity = a.OffsetSanity
+		}
+		if a.TopWindow > 0 {
+			cfg.TopWindow = a.TopWindow
+		}
+		if a.WarmupSamples > 0 {
+			cfg.WarmupSamples = a.WarmupSamples
+		}
+		if a.ShiftWindow > 0 {
+			cfg.ShiftWindow = a.ShiftWindow
+		}
+		if a.ShiftThresholdFactor > 0 {
+			cfg.ShiftThresholdFactor = a.ShiftThresholdFactor
+		}
+	}
+	return cfg
+}
+
+// Status reports the synchronization state after one exchange.
+type Status struct {
+	// Period is the current rate estimate p̂ (seconds per counter cycle)
+	// and PeriodQuality its estimated relative error bound.
+	Period        float64
+	PeriodQuality float64
+	// LocalPeriod is the quasi-local rate estimate; LocalValid reports
+	// whether it is usable (false when the refinement is disabled).
+	LocalPeriod float64
+	LocalValid  bool
+	// Offset is the current estimate θ̂ of the uncorrected clock's
+	// offset from true time, in seconds.
+	Offset float64
+	// RTT is this exchange's round-trip time, MinRTT the running
+	// minimum r̂, and PointError RTT − r̂ (the filter statistic).
+	RTT, MinRTT, PointError float64
+	// Flags describing how the exchange was used.
+	Accepted            bool // packet accepted for the rate pair
+	RateUpdated         bool // p̂ changed
+	PoorQuality         bool // E** fallback in the offset filter
+	OffsetSanity        bool // sanity check duplicated previous θ̂
+	UpwardShiftDetected bool // route-change level shift detected
+	ServerChanged       bool // server identity (RefID/stratum) changed
+	Warmup              bool // still within the warmup phase
+}
+
+// Clock is the calibrated TSC-NTP clock. It is safe for concurrent use:
+// readers (AbsoluteTime, Between, ...) may run concurrently with the
+// synchronization feed.
+type Clock struct {
+	mu   sync.Mutex
+	sync *core.Sync
+}
+
+// New constructs a Clock.
+func New(opts Options) (*Clock, error) {
+	s, err := core.NewSync(opts.buildConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Clock{sync: s}, nil
+}
+
+// ProcessNTPExchange feeds one completed NTP exchange: host counter
+// stamps ta (just before send) and tf (just after receive), and the
+// server's receive/transmit stamps tb, te in seconds. Exchanges must be
+// fed in arrival order; lost exchanges are simply never fed.
+func (c *Clock) ProcessNTPExchange(ta, tf uint64, tb, te float64) (Status, error) {
+	return c.processWithIdentity(ta, tf, tb, te, core.Identity{})
+}
+
+// ProcessNTPExchangeFrom additionally carries the server's identity
+// (reference ID and stratum from the NTP payload); a change of identity
+// re-bases the minimum-RTT filter immediately instead of waiting out the
+// level-shift detection window (the paper's Section 2.3 extension).
+func (c *Clock) ProcessNTPExchangeFrom(ta, tf uint64, tb, te float64, refID uint32, stratum uint8) (Status, error) {
+	return c.processWithIdentity(ta, tf, tb, te, core.Identity{RefID: refID, Stratum: stratum})
+}
+
+func (c *Clock) processWithIdentity(ta, tf uint64, tb, te float64, id core.Identity) (Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, err := c.sync.Process(core.Input{Ta: ta, Tf: tf, Tb: tb, Te: te})
+	if err != nil {
+		return Status{}, err
+	}
+	changed := c.sync.ObserveIdentity(id)
+	return Status{
+		ServerChanged:       changed,
+		Period:              res.PHat,
+		PeriodQuality:       res.PQuality,
+		LocalPeriod:         res.PLocal,
+		LocalValid:          res.PLocalValid,
+		Offset:              res.ThetaHat,
+		RTT:                 res.RTT,
+		MinRTT:              res.RTTHat,
+		PointError:          res.PointError,
+		Accepted:            res.Accepted,
+		RateUpdated:         res.RateUpdated,
+		PoorQuality:         res.PoorQuality,
+		OffsetSanity:        res.OffsetSanityTriggered,
+		UpwardShiftDetected: res.UpwardShiftDetected,
+		Warmup:              res.Warmup,
+	}, nil
+}
+
+// AbsoluteTime reads the absolute clock Ca at a counter value: seconds
+// on the server's timescale (the simulation origin, or the NTP era on
+// the live path). Use it only when absolute timestamps are required;
+// the difference clock is more accurate for intervals (Section 2.2).
+func (c *Clock) AbsoluteTime(counter uint64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync.AbsoluteTime(counter)
+}
+
+// Between measures the interval between two counter readings with the
+// difference clock Cd: smooth, driven only by the rate estimate, and
+// the right tool for intervals below the SKM scale (~1000 s).
+func (c *Clock) Between(c1, c2 uint64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync.DifferenceSpan(c1, c2)
+}
+
+// Period returns the current rate estimate (seconds per cycle).
+func (c *Clock) Period() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, _ := c.sync.Clock()
+	return p
+}
+
+// Offset returns the current offset estimate θ̂ and whether one exists.
+func (c *Clock) Offset() (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync.Theta()
+}
+
+// MinRTT returns the current minimum round-trip-time estimate r̂.
+func (c *Clock) MinRTT() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync.RTTHat()
+}
+
+// Exchanges returns the number of exchanges processed.
+func (c *Clock) Exchanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sync.Count()
+}
