@@ -1,0 +1,104 @@
+package core
+
+import "testing"
+
+// benchTraceLen is the synthetic trace length for the throughput
+// suite: long enough that the engine's top window slides dozens of
+// times at the default configuration, so the amortized costs of
+// sliding, r̂ re-derivation and pair revalidation are all inside the
+// measurement. The trace itself comes from SynthTrace (synth.go),
+// shared with `cmd/experiments -perf`.
+const benchTraceLen = 1_000_000
+
+var benchTrace []Input // lazily built, shared across sub-benchmarks
+
+// BenchmarkProcess measures steady-state per-packet engine throughput
+// over a 1M-packet synthetic trace at several window configurations
+// (all windows are durations; packet counts follow from the 16 s
+// poll). The nShift=1024/nOff=16 row pairs the large shift window with
+// the paper's τ′ = τ*/4 offset-window sensitivity setting, isolating
+// the cost of minimum tracking from the cost of the weighted offset
+// scan. Run with -benchmem: steady state must stay at 0 allocs/op (the
+// only byte counts are the ring growth during the first top window,
+// amortized over the full trace).
+func BenchmarkProcess(b *testing.B) {
+	if benchTrace == nil {
+		benchTrace = SynthTrace(benchTraceLen)
+	}
+	tau := 1000.0 // τ*, the default OffsetWindow
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"window=default", nil},
+		{"window=nShift1024", func(c *Config) { c.ShiftWindow = 1024 * 16 }},
+		{"window=nShift1024_nOff16", func(c *Config) {
+			c.ShiftWindow = 1024 * 16
+			c.OffsetWindow = tau / 4
+		}},
+		{"window=nShift4096", func(c *Config) { c.ShiftWindow = 4096 * 16 }},
+		{"window=nShift16384", func(c *Config) { c.ShiftWindow = 16384 * 16 }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := DefaultConfig(2e-9, 16)
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			s, err := NewSync(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % len(benchTrace)
+				if j == 0 && i > 0 {
+					// The trace wrapped: counters would regress, so
+					// restart the engine outside the timer.
+					b.StopTimer()
+					s, err = NewSync(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if _, err := s.Process(benchTrace[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProcessLocalRate is the default window configuration with
+// the quasi-local rate refinement enabled: the offset scan takes the
+// linear-prediction path (offsetScanGl) and the near/far sub-window
+// selection runs every packet.
+func BenchmarkProcessLocalRate(b *testing.B) {
+	if benchTrace == nil {
+		benchTrace = SynthTrace(benchTraceLen)
+	}
+	cfg := DefaultConfig(2e-9, 16)
+	cfg.UseLocalRate = true
+	s, err := NewSync(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(benchTrace)
+		if j == 0 && i > 0 {
+			b.StopTimer()
+			s, err = NewSync(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if _, err := s.Process(benchTrace[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

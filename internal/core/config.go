@@ -182,6 +182,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: AgingRate must be non-negative")
 	case !(c.EStarStarFactor > 1):
 		return fmt.Errorf("core: EStarStarFactor must exceed 1")
+	case !(c.EStarStarFactor < 26):
+		// Beyond 26 the fallback would be gated on Gaussian weights
+		// below exp(−26²) ≈ 2.5e-294 — numerically meaningless, and
+		// outside the offset scan's exactness envelope (offset.go).
+		return fmt.Errorf("core: EStarStarFactor must be below 26")
 	case !(c.OffsetSanity > 0):
 		return fmt.Errorf("core: OffsetSanity must be positive")
 	case c.HardwareRateBound < 0:

@@ -5,7 +5,7 @@ import "math"
 // pairEstimate computes the paired rate estimate of equation (17),
 // averaged over the forward and backward directions, together with its
 // quality bound (E_i+E_j)/Δ(t). ok is false when the pair is degenerate.
-func (s *Sync) pairEstimate(j, i record) (p float64, quality float64, ok bool) {
+func (s *Sync) pairEstimate(j, i *record) (p float64, quality float64, ok bool) {
 	if i.seq == j.seq || i.ta <= j.ta || i.tf <= j.tf {
 		return 0, 0, false
 	}
@@ -48,10 +48,10 @@ func (s *Sync) updateRate(rec *record, res *Result) {
 
 	if !s.havePair {
 		// Find j: the first history packet currently within E*.
-		for idx := range s.hist {
-			cand := s.hist[idx]
+		for idx := 0; idx < s.hist.Len(); idx++ {
+			cand := s.hist.At(idx)
 			if cand.rtt-s.rHat <= eStar && cand.tf < rec.tf {
-				s.pairJ = cand
+				s.pairJ = *cand
 				s.havePair = true
 				break
 			}
@@ -64,7 +64,7 @@ func (s *Sync) updateRate(rec *record, res *Result) {
 		}
 	}
 
-	pNew, qual, ok := s.pairEstimate(s.pairJ, *rec)
+	pNew, qual, ok := s.pairEstimate(&s.pairJ, rec)
 	if !ok {
 		return
 	}
@@ -87,47 +87,49 @@ func (s *Sync) updateRate(rec *record, res *Result) {
 
 // warmupRate implements the growing near/far warmup scheme.
 func (s *Sync) warmupRate(rec *record, res *Result) {
-	n := len(s.hist) // history before this record
+	n := s.hist.Len() // history before this record
 	w := n / 4
 	if w < 1 {
 		w = 1
 	}
 	// Far window: the first w packets; near window: the last w packets
 	// of history plus the current record. Select the lowest point error
-	// (relative to the current r̂) in each.
+	// (relative to the current r̂) in each. With fewer than w history
+	// packets the near window is clamped to the whole history.
 	bestFar, bestNear := -1, -1
 	bestFarErr, bestNearErr := math.Inf(1), math.Inf(1)
 	for idx := 0; idx < w && idx < n; idx++ {
-		if e := s.hist[idx].rtt - s.rHat; e < bestFarErr {
+		if e := s.hist.At(idx).rtt - s.rHat; e < bestFarErr {
 			bestFarErr = e
 			bestFar = idx
 		}
 	}
-	for idx := n - w; idx < n; idx++ {
-		if idx < 0 {
-			continue
-		}
-		if e := s.hist[idx].rtt - s.rHat; e < bestNearErr {
+	nearStart := n - w
+	if nearStart < 0 {
+		nearStart = 0
+	}
+	for idx := nearStart; idx < n; idx++ {
+		if e := s.hist.At(idx).rtt - s.rHat; e < bestNearErr {
 			bestNearErr = e
 			bestNear = idx
 		}
 	}
-	nearRec := *rec
+	near := rec
 	if cur := rec.rtt - s.rHat; cur > bestNearErr && bestNear >= 0 {
-		nearRec = s.hist[bestNear]
+		near = s.hist.At(bestNear)
 	}
 	if bestFar < 0 {
 		return
 	}
-	farRec := s.hist[bestFar]
-	if farRec.seq == nearRec.seq {
+	far := s.hist.At(bestFar)
+	if far.seq == near.seq {
 		return
 	}
-	pNew, qual, ok := s.pairEstimate(farRec, nearRec)
+	pNew, qual, ok := s.pairEstimate(far, near)
 	if !ok {
 		return
 	}
-	s.pairJ, s.pairI = farRec, nearRec
+	s.pairJ, s.pairI = *far, *near
 	s.havePair = true
 	s.setRate(pNew, rec.tf)
 	s.pQual = qual
@@ -147,35 +149,33 @@ func (s *Sync) updateLocalRate(res *Result) {
 	}
 	// Refinement only: activated once a full window is available after
 	// warmup (Section 6.1).
-	if s.count <= s.nWarm+s.nLocalWin || len(s.hist) < s.nLocalWin {
+	if s.count <= s.nWarm+s.nLocalWin || s.hist.Len() < s.nLocalWin {
 		return
 	}
 
 	// Time-scale control guard (Section 6.1, "Lost Packets"): if the gap
 	// to the previous packet is too large the local rate is out of date.
-	n := len(s.hist)
+	n := s.hist.Len()
 	if n >= 2 {
-		gap := spanSeconds(s.hist[n-2].tf, s.hist[n-1].tf, s.p)
+		gap := spanSeconds(s.hist.At(n-2).tf, s.hist.At(n-1).tf, s.p)
 		if gap > s.cfg.LocalRateWindow/2 {
 			s.plValid = false
 			return
 		}
 	}
 
-	win := s.hist[n-s.nLocalWin:]
-	far := win[:s.nLocalFar]
-	near := win[len(win)-s.nLocalNear:]
-
-	bestOf := func(rs []record) record {
-		best := rs[0]
-		for _, r := range rs[1:] {
-			if r.pointErr < best.pointErr {
+	winStart := n - s.nLocalWin
+	bestOf := func(i, j int) *record {
+		best := s.hist.At(i)
+		for idx := i + 1; idx < j; idx++ {
+			if r := s.hist.At(idx); r.pointErr < best.pointErr {
 				best = r
 			}
 		}
 		return best
 	}
-	j, i := bestOf(far), bestOf(near)
+	j := bestOf(winStart, winStart+s.nLocalFar)
+	i := bestOf(n-s.nLocalNear, n)
 
 	pCand, qual, ok := s.pairEstimate(j, i)
 	if !ok {

@@ -46,16 +46,23 @@ func (s *Sync) ObserveIdentity(id Identity) bool {
 		return false
 	}
 	s.ident = id
-	if len(s.hist) == 0 {
+	if s.hist.Len() == 0 {
 		return true
 	}
-	// Re-base the minimum from the current packet only.
-	last := &s.hist[len(s.hist)-1]
+	// Re-base the minimum from the current packet only. The r̂ deque is
+	// left untouched: the re-base is recorded in lastShiftSeq alone,
+	// and every consumer reads the deque through a suffix query that
+	// respects it (r̂ at slides) or deliberately ignores it (the
+	// level-shift window r̂_l, which keeps spanning pre-rebase packets
+	// for the next T_s packets, exactly like the reference's plain
+	// window scan — see TestGoldenIdentityRebaseCongestion).
+	last := s.hist.Back()
 	s.rHat = last.rtt
 	s.lastShiftSeq = last.seq
 	last.pointErr = 0
+	s.scan.Back().pointErr = 0
 	if s.havePair {
-		if _, qual, ok := s.pairEstimate(s.pairJ, s.pairI); ok {
+		if _, qual, ok := s.pairEstimate(&s.pairJ, &s.pairI); ok {
 			s.pQual = qual
 		}
 	}

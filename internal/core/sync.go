@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/window"
 )
 
 // Input is the raw data of one completed NTP exchange: everything the
@@ -57,6 +59,19 @@ type Result struct {
 	Warmup                bool // packet processed during warmup
 }
 
+// scanRec is the offset filter's view of a record, kept in a parallel
+// ring: the weighted scan of updateOffset touches only these three
+// fields, and packing them in 24 bytes (instead of striding across
+// 64-byte records) cuts the scan's cache traffic by more than half.
+// The ftf field is float64(tf); the one extra rounding against the
+// reference's float64(now−tf) perturbs E^T by ~1e-19 s, invisible at
+// the engine's 1e-12 equivalence budget.
+type scanRec struct {
+	ftf      float64
+	pointErr float64
+	theta    float64
+}
+
 // record is the per-packet history entry kept inside the top window.
 type record struct {
 	seq    int
@@ -65,6 +80,8 @@ type record struct {
 	rtt    float64 // seconds, measured with p̂ at arrival
 	// pointErr is E_i relative to the r̂ in force at arrival, revised
 	// backwards when an upward level shift is detected (Section 6.2).
+	// It is never negative: r̂ is at or below the record's own RTT when
+	// the value is assigned, both at arrival and at revisions.
 	pointErr float64
 	theta    float64 // naive offset estimate θ̂_i (equation 19)
 }
@@ -73,14 +90,24 @@ type record struct {
 // arrival order with Process; lost packets are simply never fed
 // (Section 6.1: "any lost packets are simply excluded from the
 // analysis"). Sync is not safe for concurrent use.
+//
+// Every per-packet operation is amortized O(1) in the window sizes:
+// history lives in a ring buffer that slides without copying, and the
+// two windowed minima the filters need — r̂ over the retained history
+// and r̂_l over the shift window T_s — come from monotonic-deque
+// trackers instead of per-packet scans. The only remaining per-packet
+// loop is the offset filter's weighted combination, which is O(active
+// offset window) by definition of the estimator (each in-window record
+// contributes an age-dependent weight that changes every packet).
 type Sync struct {
 	cfg Config
 
 	// Window sizes in packets.
 	nOff, nLocalWin, nLocalNear, nLocalFar, nShift, nTop, nWarm int
 
-	hist  []record
-	count int // total packets processed
+	hist  window.Ring[record]
+	scan  window.Ring[scanRec] // parallel to hist; see scanRec
+	count int                  // total packets processed
 
 	// Global rate state: the pair (j, i) and the clock C(T) = p·T + c.
 	p        float64
@@ -90,10 +117,14 @@ type Sync struct {
 	havePair bool
 	pQual    float64
 
-	// Minimum RTT tracking.
-	rHat          float64
-	lastShiftSeq  int // first seq at/after the most recent upward shift
-	shiftUpActive bool
+	// Minimum RTT tracking. rHat caches the front of rMin, the deque
+	// tracking the minimum over retained history at or after the last
+	// upward shift point; r̂_l over the trailing T_s window comes from
+	// the same deque via SuffixMin (the shift window always nests
+	// inside the r̂ window, sharing its leading edge).
+	rHat         float64
+	rMin         window.MinTracker
+	lastShiftSeq int // first seq at/after the most recent upward shift
 
 	// Local rate state.
 	pl      float64
@@ -201,8 +232,8 @@ func (s *Sync) Process(in Input) (Result, error) {
 	if in.Tf <= in.Ta {
 		return Result{}, fmt.Errorf("core: counter stamps not increasing (Ta=%d, Tf=%d)", in.Ta, in.Tf)
 	}
-	if len(s.hist) > 0 && in.Tf <= s.hist[len(s.hist)-1].tf {
-		return Result{}, fmt.Errorf("core: exchange out of order (Tf=%d after %d)", in.Tf, s.hist[len(s.hist)-1].tf)
+	if s.hist.Len() > 0 && in.Tf <= s.hist.Back().tf {
+		return Result{}, fmt.Errorf("core: exchange out of order (Tf=%d after %d)", in.Tf, s.hist.Back().tf)
 	}
 
 	seq := s.count
@@ -213,10 +244,12 @@ func (s *Sync) Process(in Input) (Result, error) {
 	rec.rtt = spanSeconds(in.Ta, in.Tf, s.p)
 
 	// Minimum RTT: downward movements are unambiguous (congestion cannot
-	// lower the minimum) and take effect immediately.
+	// lower the minimum) and take effect immediately. The tracker sees
+	// every sample; its window trails by eviction only.
 	if rec.rtt < s.rHat {
 		s.rHat = rec.rtt
 	}
+	s.rMin.Push(seq, rec.rtt)
 	rec.pointErr = rec.rtt - s.rHat
 
 	if seq == 0 {
@@ -235,7 +268,11 @@ func (s *Sync) Process(in Input) (Result, error) {
 	rec.theta = s.naiveTheta(rec)
 	res.ThetaNaive = rec.theta
 
-	s.hist = append(s.hist, rec)
+	*s.hist.PushSlot() = rec
+	sc := s.scan.PushSlot()
+	sc.ftf = float64(in.Tf)
+	sc.pointErr = rec.pointErr
+	sc.theta = rec.theta
 
 	// Upward level-shift detection (Section 6.2) may revise recent point
 	// errors, so run it before the offset filter consumes them.
@@ -257,7 +294,7 @@ func (s *Sync) Process(in Input) (Result, error) {
 	res.ClockP, res.ClockC = s.p, s.c
 	res.RTT = rec.rtt
 	res.RTTHat = s.rHat
-	res.PointError = s.hist[len(s.hist)-1].pointErr
+	res.PointError = s.hist.Back().pointErr
 	res.ThetaHat = s.theta
 	return res, nil
 }
@@ -281,28 +318,37 @@ func (s *Sync) setRate(pNew float64, at uint64) {
 
 // slideTopWindow discards the oldest half of the history once the top
 // window is full, then re-derives r̂ and revalidates the rate pair
-// (Section 6.1, "Windowing").
+// (Section 6.1, "Windowing"). With the ring buffer the slide is a head
+// advance — no copy, no reallocation — and r̂ over the retained history
+// is a deque eviction instead of a full re-scan.
 func (s *Sync) slideTopWindow() {
-	if len(s.hist) < s.nTop {
+	if s.hist.Len() < s.nTop {
 		return
 	}
 	drop := s.nTop / 2
-	s.hist = append(s.hist[:0:0], s.hist[drop:]...)
+	s.hist.DropFront(drop)
+	s.scan.DropFront(drop)
 
-	// r̂ first: recompute over the retained history, using only values
-	// beyond the last detected upward shift point.
-	s.recomputeRHat()
+	// r̂ first: the minimum over the retained history, using only values
+	// beyond the last upward shift or server re-base point — a suffix
+	// query from lastShiftSeq (the eviction to the new window start
+	// only bounds deque memory; it is always at or before every future
+	// suffix start, so no later query loses samples).
+	s.rMin.EvictBefore(s.hist.Front().seq)
+	if m, ok := s.rMin.SuffixMin(s.lastShiftSeq); ok {
+		s.rHat = m
+	}
 
 	// Then p̂: if the pair's older packet fell out of the window, replace
 	// it with the first retained packet of similar or better point
 	// quality, and adopt the new pair only if its quality improves.
-	if !s.havePair || s.pairI.seq <= s.pairJ.seq || s.pairJ.seq >= s.hist[0].seq {
+	if !s.havePair || s.pairI.seq <= s.pairJ.seq || s.pairJ.seq >= s.hist.Front().seq {
 		return
 	}
 	eStar := s.cfg.EStar()
 	var newJ *record
-	for idx := range s.hist {
-		cand := &s.hist[idx]
+	for idx := 0; idx < s.hist.Len(); idx++ {
+		cand := s.hist.At(idx)
 		if cand.seq >= s.pairI.seq {
 			break
 		}
@@ -315,8 +361,8 @@ func (s *Sync) slideTopWindow() {
 		// No packet meets E*; fall back to the best available so the
 		// pair always has in-window provenance.
 		best := math.Inf(1)
-		for idx := range s.hist {
-			cand := &s.hist[idx]
+		for idx := 0; idx < s.hist.Len(); idx++ {
+			cand := s.hist.At(idx)
 			if cand.seq >= s.pairI.seq {
 				break
 			}
@@ -329,56 +375,51 @@ func (s *Sync) slideTopWindow() {
 	if newJ == nil {
 		return
 	}
-	pNew, qual, ok := s.pairEstimate(*newJ, s.pairI)
+	pNew, qual, ok := s.pairEstimate(newJ, &s.pairI)
 	s.pairJ = *newJ
 	if ok && qual < s.pQual {
-		s.setRate(pNew, s.hist[len(s.hist)-1].tf)
+		s.setRate(pNew, s.hist.Back().tf)
 		s.pQual = qual
 	}
 }
 
-// recomputeRHat rebuilds the global minimum from retained history,
-// respecting the last upward shift point.
-func (s *Sync) recomputeRHat() {
-	m := math.Inf(1)
-	for idx := range s.hist {
-		rec := &s.hist[idx]
-		if rec.seq < s.lastShiftSeq {
-			continue
-		}
-		if rec.rtt < m {
-			m = rec.rtt
-		}
-	}
-	if !math.IsInf(m, 1) {
-		s.rHat = m
-	}
-}
-
-// detectUpwardShift maintains the local minimum r̂_l over the shift
-// window T_s and reacts to upward level shifts: r̂ jumps to r̂_l and the
-// point errors of packets back to the shift point are reassessed.
+// detectUpwardShift derives the local minimum r̂_l over the shift
+// window T_s from the r̂ deque (a suffix query: the shift window nests
+// inside the deque's window whenever the length guard below holds) and
+// reacts to upward level shifts: r̂ jumps to r̂_l and the point errors
+// of packets back to the shift point are reassessed. The O(T_s) work
+// happens only when a shift is actually detected — a rare event — so
+// the per-packet cost is the suffix query on the deque.
 func (s *Sync) detectUpwardShift(res *Result) {
-	if len(s.hist) < s.nShift || s.count <= s.nWarm {
+	if s.hist.Len() < s.nShift || s.count <= s.nWarm {
 		return
 	}
-	start := len(s.hist) - s.nShift
-	rl := math.Inf(1)
-	for idx := start; idx < len(s.hist); idx++ {
-		if s.hist[idx].rtt < rl {
-			rl = s.hist[idx].rtt
-		}
+	back := s.hist.Back()
+	thresh := s.cfg.ShiftThresholdFactor * s.cfg.E()
+	// r̂_l is bounded above by the newest RTT (it is in the window), so
+	// a shift is only detectable when that RTT itself clears the
+	// threshold — which skips the suffix query for almost every packet.
+	if back.rtt-s.rHat <= thresh {
+		return
 	}
-	if rl-s.rHat > s.cfg.ShiftThresholdFactor*s.cfg.E() {
+	rl, ok := s.rMin.SuffixMin(back.seq - s.nShift + 1)
+	if !ok {
+		return
+	}
+	if rl-s.rHat > thresh {
+		start := s.hist.Len() - s.nShift
 		s.rHat = rl
-		s.lastShiftSeq = s.hist[start].seq
-		for idx := start; idx < len(s.hist); idx++ {
-			s.hist[idx].pointErr = s.hist[idx].rtt - s.rHat
+		s.lastShiftSeq = s.hist.At(start).seq
+		s.rMin.EvictBefore(s.lastShiftSeq)
+		for i := start; i < s.hist.Len(); i++ {
+			h := s.hist.At(i)
+			h.pointErr = h.rtt - s.rHat
+			s.scan.At(i).pointErr = h.pointErr
 		}
 		// The pair survives, but its quality is reassessed against the
 		// new error level (Section 6.2, "Asymmetry of offset and rate").
 		if s.havePair {
-			if _, qual, ok := s.pairEstimate(s.pairJ, s.pairI); ok {
+			if _, qual, ok := s.pairEstimate(&s.pairJ, &s.pairI); ok {
 				s.pQual = qual
 			}
 		}

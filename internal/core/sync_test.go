@@ -72,6 +72,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.EStarFactor = 0 },
 		func(c *Config) { c.OffsetSanity = 0 },
 		func(c *Config) { c.EStarStarFactor = 1 },
+		func(c *Config) { c.EStarStarFactor = 26 },
 		func(c *Config) { c.WarmupSamples = 1 },
 		func(c *Config) { c.TopWindow = c.OffsetWindow },
 		func(c *Config) { c.UseLocalRate = true; c.LocalRateW = 2 },
@@ -501,7 +502,11 @@ func TestRunUnderHighLoss(t *testing.T) {
 	}
 }
 
-func BenchmarkProcess(b *testing.B) {
+// BenchmarkProcessSimTrace runs the engine over a full simulated day
+// (the original end-to-end benchmark; the windowed throughput suite
+// over 1M-packet synthetic traces lives in bench_test.go as
+// BenchmarkProcess).
+func BenchmarkProcessSimTrace(b *testing.B) {
 	tr := mrIntTrace(b, timebase.Day, 1)
 	ex := tr.Completed()
 	inputs := make([]Input, len(ex))
