@@ -62,6 +62,11 @@ func BenchmarkFig11d(b *testing.B)        { benchExperiment(b, "fig11d") }
 func BenchmarkFig12(b *testing.B)         { benchExperiment(b, "fig12") }
 func BenchmarkBaselineSWNTP(b *testing.B) { benchExperiment(b, "baseline") }
 
+// BenchmarkEnsembleFault runs the multi-server faulty-server experiment
+// (the fan-out throughput benchmark is BenchmarkEnsemble in
+// internal/ensemble).
+func BenchmarkEnsembleFault(b *testing.B) { benchExperiment(b, "ensemble") }
+
 // --- ablation benchmarks ---
 //
 // Each ablation runs the engine over the same trace with one design

@@ -1,0 +1,134 @@
+package tscclock
+
+// Documentation checks, run in CI's docs job: every relative link in
+// the top-level markdown files must resolve, and every package must
+// carry a package doc comment so `go doc` reads as a tour.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// slugify approximates GitHub's heading-anchor slugs.
+func slugify(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	s = strings.ReplaceAll(s, " ", "-")
+	return regexp.MustCompile(`[^a-z0-9\-_]`).ReplaceAllString(s, "")
+}
+
+// anchorsOf collects the heading anchors of a markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence && strings.HasPrefix(line, "#") {
+			anchors[slugify(strings.TrimLeft(line, "# "))] = true
+		}
+	}
+	return anchors
+}
+
+// TestDocLinks verifies every relative link in the markdown files this
+// repository maintains: linked files must exist, and anchors must match
+// a heading. SNIPPETS.md and PAPERS.md are excluded — they are
+// retrieved reference artifacts carrying links from their source
+// repositories. External links (http/https/mailto) are deliberately
+// not fetched — the check must work offline and in CI.
+func TestDocLinks(t *testing.T) {
+	mds := []string{"README.md", "ARCHITECTURE.md", "PERF.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"}
+	for _, md := range mds {
+		if _, err := os.Stat(md); err != nil {
+			t.Errorf("required doc %s missing: %v", md, err)
+			continue
+		}
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, hasFrag := strings.Cut(target, "#")
+			if path == "" { // same-file anchor
+				if hasFrag && !anchorsOf(t, md)[frag] {
+					t.Errorf("%s: broken anchor link %q", md, target)
+				}
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(path)); err != nil {
+				t.Errorf("%s: broken link %q: %v", md, target, err)
+				continue
+			}
+			if hasFrag && strings.HasSuffix(path, ".md") && !anchorsOf(t, path)[frag] {
+				t.Errorf("%s: link %q points to a missing heading", md, target)
+			}
+		}
+	}
+}
+
+// TestPackageDocs requires a package doc comment ("// Package <name>
+// ...") in every internal package, the root package, and every command
+// ("// Command <name> ..."), so the godoc output tours the repository.
+func TestPackageDocs(t *testing.T) {
+	hasDoc := func(dir, prefix string) bool {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.HasPrefix(line, prefix) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	if !hasDoc(".", "// Package tscclock ") {
+		t.Error("root package is missing its package doc comment")
+	}
+	for _, root := range []struct{ glob, kind string }{
+		{"internal/*", "Package"},
+		{"cmd/*", "Command"},
+	} {
+		dirs, err := filepath.Glob(root.glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dirs) == 0 {
+			t.Fatalf("no directories match %s", root.glob)
+		}
+		for _, dir := range dirs {
+			name := filepath.Base(dir)
+			if !hasDoc(dir, "// "+root.kind+" "+name+" ") {
+				t.Errorf("%s is missing a %q doc comment", dir, "// "+root.kind+" "+name)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package tscclock
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ensemble"
+)
+
+// EnsembleOptions configures a multi-server ensemble clock.
+type EnsembleOptions struct {
+	// Servers is the number of upstream servers. Required (≥ 1).
+	Servers int
+
+	// Clock carries the per-server calibration options (every server
+	// gets an identical engine; per-server state diverges with the
+	// data). NominalPeriod is required, as for Clock.
+	Clock Options
+
+	// PenaltyDecay, ErrAlpha and AgreementFactor tune the trust scoring
+	// and agreement step; zero values take the ensemble defaults.
+	PenaltyDecay    float64
+	ErrAlpha        float64
+	AgreementFactor float64
+}
+
+// EnsembleStatus reports the state after one exchange through the
+// ensemble: the per-server view of the exchange plus the combined
+// clock's state.
+type EnsembleStatus struct {
+	// Status is the per-server synchronization state for the exchange,
+	// exactly as a single Clock would report it.
+	Status
+
+	// Server is the index of the server that served the exchange.
+	Server int
+	// Weight is that server's normalized combining weight after the
+	// exchange. Servers still in warmup weigh 0 once any server has
+	// graduated; until then every polled server weighs equally so the
+	// combined clock is defined from the first exchange.
+	Weight float64
+	// Rate is the combined rate estimate (seconds per counter cycle).
+	Rate float64
+	// Agreement counts the servers whose error intervals contain the
+	// combined absolute time at this exchange's receive stamp —
+	// Servers means full agreement, below a majority is a red flag.
+	Agreement int
+}
+
+// Ensemble is the multi-server counterpart of Clock: one calibration
+// engine per upstream NTP server over a shared host counter, combined
+// into a single robust clock by trust-weighted median agreement so that
+// a faulty or route-shifted server is outvoted rather than followed.
+// It is safe for concurrent use, like Clock.
+type Ensemble struct {
+	mu  sync.Mutex
+	ens *ensemble.Ensemble
+}
+
+// NewEnsemble constructs an Ensemble.
+func NewEnsemble(opts EnsembleOptions) (*Ensemble, error) {
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("tscclock: EnsembleOptions.Servers must be ≥ 1")
+	}
+	cfgs := make([]core.Config, opts.Servers)
+	for i := range cfgs {
+		cfgs[i] = opts.Clock.buildConfig()
+	}
+	ens, err := ensemble.New(ensemble.Config{
+		Engines:         cfgs,
+		PenaltyDecay:    opts.PenaltyDecay,
+		ErrAlpha:        opts.ErrAlpha,
+		AgreementFactor: opts.AgreementFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Ensemble{ens: ens}, nil
+}
+
+// Servers returns the number of upstream servers.
+func (e *Ensemble) Servers() int { return e.ens.Size() }
+
+// ProcessNTPExchange feeds one completed NTP exchange with the given
+// server (stamps as for Clock.ProcessNTPExchange). Exchanges must be
+// fed in arrival order per server; cross-server order is free, which is
+// what staggered polling schedules produce.
+func (e *Ensemble) ProcessNTPExchange(server int, ta, tf uint64, tb, te float64) (EnsembleStatus, error) {
+	return e.processWithIdentity(server, ta, tf, tb, te, core.Identity{})
+}
+
+// ProcessNTPExchangeFrom additionally carries the server's identity
+// (reference ID and stratum); a change re-bases that server's RTT
+// filter and dents its combining weight until the new path proves
+// itself.
+func (e *Ensemble) ProcessNTPExchangeFrom(server int, ta, tf uint64, tb, te float64, refID uint32, stratum uint8) (EnsembleStatus, error) {
+	return e.processWithIdentity(server, ta, tf, tb, te, core.Identity{RefID: refID, Stratum: stratum})
+}
+
+func (e *Ensemble) processWithIdentity(server int, ta, tf uint64, tb, te float64, id core.Identity) (EnsembleStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := e.ens.Process(server, core.Input{Ta: ta, Tf: tf, Tb: tb, Te: te})
+	if err != nil {
+		return EnsembleStatus{}, err
+	}
+	// The index was validated by Process above.
+	changed, _ := e.ens.ObserveIdentity(server, id)
+	snap := e.ens.TakeSnapshot(tf)
+	return EnsembleStatus{
+		Status:    statusFromResult(res, changed),
+		Server:    server,
+		Weight:    snap.Weights[server],
+		Rate:      snap.Rate,
+		Agreement: snap.Agreement,
+	}, nil
+}
+
+// AbsoluteTime reads the combined absolute clock at a counter value:
+// the trust-weighted median of the per-server absolute clocks.
+func (e *Ensemble) AbsoluteTime(counter uint64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.AbsoluteTime(counter)
+}
+
+// Between measures the interval between two counter readings with the
+// combined difference clock (combined rate only), like Clock.Between.
+func (e *Ensemble) Between(c1, c2 uint64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.DifferenceSpan(c1, c2)
+}
+
+// Period returns the combined rate estimate (seconds per cycle).
+func (e *Ensemble) Period() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.RateHat()
+}
+
+// Weights returns the current normalized per-server combining weights.
+func (e *Ensemble) Weights() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.Weights()
+}
+
+// ServerStates returns the per-server trust diagnostics.
+func (e *Ensemble) ServerStates() []ensemble.ServerState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.ServerStates()
+}
+
+// Exchanges returns the total number of exchanges processed.
+func (e *Ensemble) Exchanges() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ens.Exchanges()
+}

@@ -1,0 +1,122 @@
+package tscclock
+
+import (
+	"math"
+	"testing"
+)
+
+// feedEnsemble sends one clean synthetic exchange with server k at true
+// time now; off shifts the server's clock (a faulty server).
+func feedEnsemble(t *testing.T, e *Ensemble, k int, now, off float64) EnsembleStatus {
+	t.Helper()
+	const p = 2e-9
+	const rtt = 400e-6
+	st, err := e.ProcessNTPExchange(k,
+		uint64(now/p), uint64((now+rtt)/p),
+		now+rtt/2+off, now+rtt/2+20e-6+off)
+	if err != nil {
+		t.Fatalf("server %d at %v: %v", k, now, err)
+	}
+	return st
+}
+
+func TestNewEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(EnsembleOptions{}); err == nil {
+		t.Error("zero Servers accepted")
+	}
+	if _, err := NewEnsemble(EnsembleOptions{Servers: 2}); err == nil {
+		t.Error("missing NominalPeriod accepted")
+	}
+}
+
+// TestEnsembleOutvotesFaultyServer exercises the public API end to end:
+// three servers, one of them 5 ms wrong, fed with a staggered schedule
+// as MultiLive would. The combined clock must track the two good
+// servers and report the disagreement.
+func TestEnsembleOutvotesFaultyServer(t *testing.T) {
+	e, err := NewEnsemble(EnsembleOptions{
+		Servers: 3,
+		Clock:   Options{NominalPeriod: 2e-9, PollPeriod: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fault = 5e-3
+	var last EnsembleStatus
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		for k := 0; k < 3; k++ {
+			now = float64(i)*16 + float64(k)*16/3 + 1
+			off := 0.0
+			if k == 2 {
+				off = fault
+			}
+			last = feedEnsemble(t, e, k, now, off)
+		}
+	}
+	if last.Warmup {
+		t.Fatal("still in warmup after 100 rounds")
+	}
+	truth := now + 1
+	T := uint64(truth / 2e-9)
+	if got := e.AbsoluteTime(T) - truth; math.Abs(got) > 100e-6 {
+		t.Errorf("combined clock error %v despite a %v faulty server", got, fault)
+	}
+	if last.Agreement != 2 {
+		t.Errorf("Agreement = %d, want 2", last.Agreement)
+	}
+	if n := e.Servers(); n != 3 {
+		t.Errorf("Servers = %d", n)
+	}
+	if got := e.Exchanges(); got != 300 {
+		t.Errorf("Exchanges = %d, want 300", got)
+	}
+	ws := e.Weights()
+	if len(ws) != 3 {
+		t.Fatalf("Weights length %d", len(ws))
+	}
+	states := e.ServerStates()
+	if len(states) != 3 || states[2].Exchanges != 100 {
+		t.Errorf("ServerStates = %+v", states)
+	}
+	// The combined rate is sane and Between measures with it.
+	if p := e.Period(); math.Abs(p/2e-9-1) > 1e-6 {
+		t.Errorf("combined period %v", p)
+	}
+	if d := e.Between(0, uint64(1/2e-9)); math.Abs(d-1) > 1e-6 {
+		t.Errorf("Between over 1 s = %v", d)
+	}
+}
+
+// TestEnsembleServerChange: identity changes surface per server through
+// the embedded Status, as for Clock.
+func TestEnsembleServerChange(t *testing.T) {
+	e, err := NewEnsemble(EnsembleOptions{
+		Servers: 2,
+		Clock:   Options{NominalPeriod: 2e-9, PollPeriod: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 2e-9
+	const rtt = 400e-6
+	feedFrom := func(k int, now float64, refid uint32) EnsembleStatus {
+		st, err := e.ProcessNTPExchangeFrom(k,
+			uint64(now/p), uint64((now+rtt)/p),
+			now+rtt/2, now+rtt/2+20e-6, refid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	for i := 0; i < 5; i++ {
+		now := float64(i)*16 + 1
+		if st := feedFrom(0, now, 100); st.ServerChanged {
+			t.Fatal("spurious server change")
+		}
+		feedFrom(1, now+8, 200)
+	}
+	if st := feedFrom(0, 100*16, 300); !st.ServerChanged {
+		t.Error("server change not surfaced")
+	}
+}

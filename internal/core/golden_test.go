@@ -162,6 +162,34 @@ func TestGoldenEquivalence(t *testing.T) {
 			},
 		},
 		{
+			// Exercises rebuildLocalMinima: the shift revision rewrites
+			// point errors cached in the near/far argmin deques (with
+			// smallWindows, nShift=800 spans the whole local window).
+			name: "upward-shift-localrate",
+			scenario: func() sim.Scenario {
+				sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Day, 1008)
+				sc.Server.Forward.Shifts = []netem.Shift{{At: 8 * timebase.Hour, Delta: 0.9 * timebase.Millisecond}}
+				return sc
+			},
+			cfg: func() Config {
+				cfg := smallWindows()
+				cfg.UseLocalRate = true
+				return cfg
+			},
+		},
+		{
+			name: "identity-rebase-localrate",
+			scenario: func() sim.Scenario {
+				return sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Day, 1009)
+			},
+			cfg: func() Config {
+				cfg := smallWindows()
+				cfg.UseLocalRate = true
+				return cfg
+			},
+			identAt: 2000,
+		},
+		{
 			name: "outage-gap",
 			scenario: func() sim.Scenario {
 				sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 16, timebase.Day, 1005)

@@ -137,12 +137,73 @@ func (s *Sync) warmupRate(rec *record, res *Result) {
 	res.Accepted = true
 }
 
+// pushLocalMinima feeds the just-pushed record into the near/far argmin
+// trackers behind updateLocalRate. The near window is the trailing
+// nLocalNear records, so the new record enters immediately; the far
+// window [seq−nLocalWin+1, seq−nLocalWin+nLocalFar] lags the newest
+// record, so the record entering it now is an older one, located in the
+// ring by sequence number (seqs are contiguous: every processed packet
+// gets the next one). Amortized O(1) per packet.
+func (s *Sync) pushLocalMinima(rec *record) {
+	s.nearMin.Push(rec.seq, rec.pointErr)
+	s.nearMin.EvictBefore(rec.seq - s.nLocalNear + 1)
+
+	frontSeq := s.hist.Front().seq
+	winStart := rec.seq - s.nLocalWin + 1
+	target := winStart + s.nLocalFar - 1
+	for ; s.farNext <= target; s.farNext++ {
+		if s.farNext < frontSeq {
+			// The record left the ring before its push turn (slides that
+			// retain less than a full local window). Skipping it is safe:
+			// frontSeq only grows and updateLocalRate activates only once
+			// the whole window is retained (winStart ≥ frontSeq), so a
+			// skipped record can never be inside an active far window.
+			continue
+		}
+		h := s.hist.At(s.farNext - frontSeq)
+		s.farMin.Push(h.seq, h.pointErr)
+	}
+	s.farMin.EvictBefore(winStart)
+}
+
+// rebuildLocalMinima reloads both argmin trackers from live history
+// values. Called after point-error revisions (upward level shift,
+// server identity re-base), which rewrite values the deques may have
+// cached; O(window) on rare events only.
+func (s *Sync) rebuildLocalMinima() {
+	if !s.cfg.UseLocalRate || s.hist.Len() == 0 {
+		return
+	}
+	s.nearMin.Reset()
+	s.farMin.Reset()
+	backSeq := s.hist.Back().seq
+	frontSeq := s.hist.Front().seq
+
+	lo := maxInt(frontSeq, backSeq-s.nLocalNear+1)
+	for seq := lo; seq <= backSeq; seq++ {
+		s.nearMin.Push(seq, s.hist.At(seq-frontSeq).pointErr)
+	}
+
+	winStart := backSeq - s.nLocalWin + 1
+	hi := winStart + s.nLocalFar - 1
+	for seq := maxInt(frontSeq, winStart); seq <= hi && seq <= backSeq; seq++ {
+		s.farMin.Push(seq, s.hist.At(seq-frontSeq).pointErr)
+	}
+	if hi+1 > s.farNext {
+		s.farNext = hi + 1
+	}
+}
+
 // updateLocalRate advances the quasi-local rate p̂_l of Section 5.2: a
 // window of effective width τ̄ ending at the current packet is divided
 // into near (τ̄/W), central, and far (2τ̄/W) sub-windows; the best
 // packet of the near and far sub-windows forms a candidate; candidates
 // are accepted only under the target quality γ* and a sanity bound on
-// the relative change.
+// the relative change. The two sub-window minima come from the argmin
+// trackers maintained by pushLocalMinima (ROADMAP: this was the last
+// O(window)-per-packet scan outside the offset filter), selecting the
+// oldest record of minimal point error exactly like the scans they
+// replace.
 func (s *Sync) updateLocalRate(res *Result) {
 	if !s.cfg.UseLocalRate {
 		return
@@ -164,18 +225,14 @@ func (s *Sync) updateLocalRate(res *Result) {
 		}
 	}
 
-	winStart := n - s.nLocalWin
-	bestOf := func(i, j int) *record {
-		best := s.hist.At(i)
-		for idx := i + 1; idx < j; idx++ {
-			if r := s.hist.At(idx); r.pointErr < best.pointErr {
-				best = r
-			}
-		}
-		return best
+	frontSeq := s.hist.Front().seq
+	jSeq, okJ := s.farMin.MinSeq()
+	iSeq, okI := s.nearMin.MinSeq()
+	if !okJ || !okI {
+		return // defensive: cannot happen once the window is full
 	}
-	j := bestOf(winStart, winStart+s.nLocalFar)
-	i := bestOf(n-s.nLocalNear, n)
+	j := s.hist.At(jSeq - frontSeq)
+	i := s.hist.At(iSeq - frontSeq)
 
 	pCand, qual, ok := s.pairEstimate(j, i)
 	if !ok {

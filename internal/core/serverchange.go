@@ -61,6 +61,9 @@ func (s *Sync) ObserveIdentity(id Identity) bool {
 	s.lastShiftSeq = last.seq
 	last.pointErr = 0
 	s.scan.Back().pointErr = 0
+	// The re-base revised a point error the local-rate argmin trackers
+	// already cached (the newest record is always in the near window).
+	s.rebuildLocalMinima()
 	if s.havePair {
 		if _, qual, ok := s.pairEstimate(&s.pairJ, &s.pairI); ok {
 			s.pQual = qual

@@ -126,9 +126,20 @@ type Sync struct {
 	rMin         window.MinTracker
 	lastShiftSeq int // first seq at/after the most recent upward shift
 
-	// Local rate state.
+	// Local rate state. The near and far sub-window argmin trackers
+	// replace the per-packet O(τ̄/W) scans of updateLocalRate: both
+	// windows slide forward by exactly one record per packet, so each is
+	// a monotonic-deque sliding-window minimum keyed by record seq, with
+	// the oldest-tie policy matching the scans' first-of-equal selection.
+	// The far window lags the newest record by nLocalWin−nLocalFar
+	// packets, so records enter it delayed, tracked by farNext.
+	// Point-error REVISIONS (upward shift, identity re-base) rebuild
+	// both trackers, since they rewrite values cached in the deques.
 	pl      float64
 	plValid bool
+	nearMin window.MinTracker
+	farMin  window.MinTracker
+	farNext int
 
 	// Offset state: the last estimate, where it was made, and its
 	// estimated error (for the gap fallback of Section 6.1).
@@ -160,6 +171,8 @@ func NewSync(cfg Config) (*Sync, error) {
 		s.nLocalWin = cfg.packets(cfg.LocalRateWindow)
 		s.nLocalNear = maxInt(1, s.nLocalWin/cfg.LocalRateW)
 		s.nLocalFar = maxInt(1, 2*s.nLocalWin/cfg.LocalRateW)
+		s.nearMin.KeepOldestTies = true
+		s.farMin.KeepOldestTies = true
 	}
 	if s.nTop < 2*s.nWarm {
 		s.nTop = 2 * s.nWarm
@@ -273,6 +286,9 @@ func (s *Sync) Process(in Input) (Result, error) {
 	sc.ftf = float64(in.Tf)
 	sc.pointErr = rec.pointErr
 	sc.theta = rec.theta
+	if s.cfg.UseLocalRate {
+		s.pushLocalMinima(&rec)
+	}
 
 	// Upward level-shift detection (Section 6.2) may revise recent point
 	// errors, so run it before the offset filter consumes them.
@@ -416,6 +432,9 @@ func (s *Sync) detectUpwardShift(res *Result) {
 			h.pointErr = h.rtt - s.rHat
 			s.scan.At(i).pointErr = h.pointErr
 		}
+		// The revision rewrote point errors the local-rate argmin
+		// trackers may have cached; reload them from live history.
+		s.rebuildLocalMinima()
 		// The pair survives, but its quality is reassessed against the
 		// new error level (Section 6.2, "Asymmetry of offset and rate").
 		if s.havePair {

@@ -1,0 +1,79 @@
+package ensemble
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkEnsemble measures the fan-out cost of sharding the packet
+// stream across N per-server engines: 1M synthetic exchanges (the same
+// core.SynthTrace workload as BenchmarkProcess and `cmd/experiments
+// -perf`) dealt round-robin to N servers. The per-packet cost must stay
+// at the single-engine budget (~420 ns, ~2.4M packets/s/core; PERF.md)
+// plus O(1) trust scoring, independent of N — the combination step runs
+// at read time, not per packet.
+func BenchmarkEnsemble(b *testing.B) {
+	const n = 1 << 20
+	ins := core.SynthTrace(n)
+	for _, servers := range []int{1, 3, 8} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			cfgs := make([]core.Config, servers)
+			for i := range cfgs {
+				cfgs[i] = core.DefaultConfig(2e-9, 16)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				e, err := New(Config{Engines: cfgs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, in := range ins {
+					if _, err := e.Process(j%servers, in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// One combined read per pass keeps the combiner honest
+				// without dominating the per-packet measurement.
+				sink += e.AbsoluteTime(ins[n-1].Tf + 1000)
+			}
+			_ = sink
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/packet")
+		})
+	}
+}
+
+// BenchmarkEnsembleRead measures the read path: a combined absolute
+// time over N engines (weighted median, O(N log N) in the server count,
+// which is small by construction).
+func BenchmarkEnsembleRead(b *testing.B) {
+	for _, servers := range []int{3, 8} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			cfgs := make([]core.Config, servers)
+			for i := range cfgs {
+				cfgs[i] = core.DefaultConfig(2e-9, 16)
+			}
+			e, err := New(Config{Engines: cfgs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ins := core.SynthTrace(4096)
+			for j, in := range ins {
+				if _, err := e.Process(j%servers, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			T := ins[len(ins)-1].Tf + 1000
+			var sink float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += e.AbsoluteTime(T + uint64(i))
+			}
+			_ = sink
+		})
+	}
+}

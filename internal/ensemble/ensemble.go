@@ -1,0 +1,403 @@
+// Package ensemble combines several independently synchronized TSC-NTP
+// engines — one per upstream NTP server — into a single robust software
+// clock, the scale-out step beyond the paper: its algorithms make one
+// server's congestion, outages and faults survivable, but a single
+// upstream is still a single point of failure. Running one core engine
+// per server over a shared host counter makes the per-server absolute
+// clocks directly comparable (they all map the same counter value to a
+// time), and a weighted-median agreement step lets a faulty or shifted
+// server be outvoted rather than followed.
+//
+// Three layers:
+//
+//   - per-server engines: each upstream server feeds its own core.Sync,
+//     so per-server filtering state (r̂, point errors, windows) never
+//     mixes across paths with different RTTs and asymmetries;
+//   - trust scoring: each server's combining weight is derived from the
+//     engine's own quality signals — the point-error level (congestion),
+//     the stability of the minimum-RTT floor (route flap), and decaying
+//     penalties for sanity triggers, poor-quality fallbacks, detected
+//     level shifts and server identity changes;
+//   - combining: absolute time and rate are the weighted medians of the
+//     per-server estimates (breakdown point 1/2: servers holding less
+//     than half the total weight cannot move the result beyond the
+//     estimates of the others), with a Marzullo-style agreement count
+//     over per-server error intervals as the confidence signal.
+//
+// The per-packet cost is one engine Process plus O(1) scoring; the
+// combination itself is evaluated at read time over the N per-server
+// estimates, so sharding across N servers preserves the single-engine
+// packet budget (see BenchmarkEnsemble).
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Config configures an ensemble.
+type Config struct {
+	// Engines carries one engine configuration per upstream server. At
+	// least one is required.
+	Engines []core.Config
+
+	// PenaltyDecay in (0,1] is the per-exchange decay factor of a
+	// server's accumulated event penalty. Default: 0.9 (an isolated
+	// sanity event fades in a few tens of exchanges).
+	PenaltyDecay float64
+
+	// ErrAlpha in (0,1] is the EWMA gain of the point-error level and
+	// RTT-floor wobble trackers. Default: 1/8.
+	ErrAlpha float64
+
+	// AgreementFactor scales the per-server error intervals used by the
+	// Marzullo-style agreement count. Default: 4.
+	AgreementFactor float64
+}
+
+func (c *Config) setDefaults() {
+	if c.PenaltyDecay == 0 {
+		c.PenaltyDecay = 0.9
+	}
+	if c.ErrAlpha == 0 {
+		c.ErrAlpha = 1.0 / 8
+	}
+	if c.AgreementFactor == 0 {
+		c.AgreementFactor = 4
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Engines) == 0 {
+		return fmt.Errorf("ensemble: at least one engine config required")
+	}
+	// Zero means "take the default"; anything else must lie in range.
+	// The inverted comparisons are NaN-safe, like core's validation.
+	if c.PenaltyDecay != 0 && !(c.PenaltyDecay > 0 && c.PenaltyDecay <= 1) {
+		return fmt.Errorf("ensemble: PenaltyDecay %v outside (0,1]", c.PenaltyDecay)
+	}
+	if c.ErrAlpha != 0 && !(c.ErrAlpha > 0 && c.ErrAlpha <= 1) {
+		return fmt.Errorf("ensemble: ErrAlpha %v outside (0,1]", c.ErrAlpha)
+	}
+	if c.AgreementFactor != 0 && !(c.AgreementFactor > 0) {
+		return fmt.Errorf("ensemble: AgreementFactor must be positive")
+	}
+	for i, ec := range c.Engines {
+		if err := ec.Validate(); err != nil {
+			return fmt.Errorf("ensemble: engine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// member is the per-server trust state.
+type member struct {
+	count     int
+	ready     bool    // past warmup: the engine's estimates are trusted
+	delta     float64 // the engine's δ: the floor of the error scale
+	ewmaErr   float64 // EWMA of the point error (congestion level), s
+	lastRHat  float64
+	rttWobble float64 // EWMA of |Δr̂| (minimum-RTT floor stability), s
+	penalty   float64 // decaying event penalty, s
+}
+
+// observe folds one engine result into the trust state.
+func (m *member) observe(cfg *Config, ec *core.Config, res core.Result) {
+	m.count++
+	if m.count == 1 {
+		m.ewmaErr = res.PointError
+		m.lastRHat = res.RTTHat
+	}
+	m.ewmaErr += cfg.ErrAlpha * (res.PointError - m.ewmaErr)
+	d := math.Abs(res.RTTHat - m.lastRHat)
+	m.rttWobble += cfg.ErrAlpha * (d - m.rttWobble)
+	m.lastRHat = res.RTTHat
+
+	// Event penalties, in seconds on the same scale as the thresholds
+	// that fired them. The offset sanity check is the strongest signal —
+	// the server's timestamps contradicted its own recent history by
+	// more than E_s — so it carries the E_s scale; a detected level
+	// shift means the path (and so the asymmetry baked into θ̂) changed.
+	m.penalty *= cfg.PenaltyDecay
+	if res.PoorQuality {
+		m.penalty += ec.E()
+	}
+	if res.OffsetSanityTriggered || res.RateSanityTriggered {
+		m.penalty += ec.OffsetSanity
+	}
+	if res.UpwardShiftDetected {
+		m.penalty += ec.ShiftThresholdFactor * ec.E()
+	}
+	m.ready = !res.Warmup
+}
+
+// errScale is the server's current error scale in seconds: the basis of
+// both the combining weight (∝ 1/errScale²) and the agreement interval.
+func (m *member) errScale() float64 {
+	return m.delta + m.ewmaErr + m.rttWobble + m.penalty
+}
+
+// Ensemble runs one synchronization engine per upstream server over a
+// shared host counter and combines their clocks. It is not safe for
+// concurrent use; the public tscclock.Ensemble wrapper adds locking.
+type Ensemble struct {
+	cfg     Config
+	engines []*core.Sync
+	members []member
+}
+
+// New constructs an ensemble from one engine configuration per server.
+func New(cfg Config) (*Ensemble, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Ensemble{
+		cfg:     cfg,
+		engines: make([]*core.Sync, len(cfg.Engines)),
+		members: make([]member, len(cfg.Engines)),
+	}
+	for i, ec := range cfg.Engines {
+		s, err := core.NewSync(ec)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: engine %d: %w", i, err)
+		}
+		e.engines[i] = s
+		e.members[i].delta = ec.Delta
+	}
+	return e, nil
+}
+
+// Size returns the number of servers (engines).
+func (e *Ensemble) Size() int { return len(e.engines) }
+
+// Engine returns server k's engine, for per-server inspection.
+func (e *Ensemble) Engine(k int) *core.Sync { return e.engines[k] }
+
+// Process feeds one completed exchange with server k to that server's
+// engine and updates the server's trust state. Exchanges must arrive in
+// order per server; cross-server ordering is unconstrained.
+func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
+	if server < 0 || server >= len(e.engines) {
+		return core.Result{}, fmt.Errorf("ensemble: server %d out of range [0,%d)", server, len(e.engines))
+	}
+	res, err := e.engines[server].Process(in)
+	if err != nil {
+		return res, err
+	}
+	e.members[server].observe(&e.cfg, &e.cfg.Engines[server], res)
+	return res, nil
+}
+
+// ObserveIdentity feeds server k's identity data from the most recent
+// exchange (after Process, mirroring core.Sync.ObserveIdentity). A
+// detected change re-bases that engine's RTT filter and adds a trust
+// penalty: the combined clock leans on the other servers until the new
+// path proves itself.
+func (e *Ensemble) ObserveIdentity(server int, id core.Identity) (bool, error) {
+	if server < 0 || server >= len(e.engines) {
+		return false, fmt.Errorf("ensemble: server %d out of range [0,%d)", server, len(e.engines))
+	}
+	changed := e.engines[server].ObserveIdentity(id)
+	if changed {
+		e.members[server].penalty += e.cfg.Engines[server].OffsetSanity
+	}
+	return changed, nil
+}
+
+// rawWeights returns the current combining weights (unnormalized).
+// Servers still in warmup weigh zero; if no server has graduated yet,
+// every server with at least one exchange weighs equally, so the
+// combined clock is defined from the first packet (matching the
+// single-clock behaviour of reading during warmup).
+func (e *Ensemble) rawWeights() []float64 {
+	ws := make([]float64, len(e.members))
+	any := false
+	for k := range e.members {
+		if m := &e.members[k]; m.ready {
+			es := m.errScale()
+			ws[k] = 1 / (es * es)
+			any = true
+		}
+	}
+	if !any {
+		for k := range e.members {
+			if e.members[k].count > 0 {
+				ws[k] = 1
+			}
+		}
+	}
+	return ws
+}
+
+// Weights returns the current per-server combining weights, normalized
+// to sum to 1 (all zeros before any exchange).
+func (e *Ensemble) Weights() []float64 {
+	ws := e.rawWeights()
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	if total > 0 {
+		for k := range ws {
+			ws[k] /= total
+		}
+	}
+	return ws
+}
+
+// ServerState is the diagnostic view of one server's trust state.
+type ServerState struct {
+	Exchanges     int     // exchanges processed
+	Ready         bool    // past warmup
+	Weight        float64 // normalized combining weight
+	ErrScale      float64 // error scale (s) behind the weight
+	PointErrLevel float64 // EWMA of the point error (s)
+	RTTWobble     float64 // EWMA of |Δr̂| (s)
+	Penalty       float64 // current decaying event penalty (s)
+}
+
+// ServerStates returns the diagnostic view of every server.
+func (e *Ensemble) ServerStates() []ServerState {
+	ws := e.Weights()
+	out := make([]ServerState, len(e.members))
+	for k := range e.members {
+		m := &e.members[k]
+		out[k] = ServerState{
+			Exchanges:     m.count,
+			Ready:         m.ready,
+			Weight:        ws[k],
+			ErrScale:      m.errScale(),
+			PointErrLevel: m.ewmaErr,
+			RTTWobble:     m.rttWobble,
+			Penalty:       m.penalty,
+		}
+	}
+	return out
+}
+
+// AbsoluteTime reads the combined absolute clock at a counter value:
+// the weighted median of the per-server absolute clocks. With three or
+// more comparable servers, one faulty server is outvoted — the median
+// lands on (or between) the agreeing servers' readings.
+func (e *Ensemble) AbsoluteTime(T uint64) float64 {
+	vals := make([]float64, len(e.engines))
+	for k, s := range e.engines {
+		vals[k] = s.AbsoluteTime(T)
+	}
+	return weightedMedian(vals, e.rawWeights())
+}
+
+// RateHat returns the combined rate estimate (seconds per counter
+// cycle): the weighted median of the per-server p̂.
+func (e *Ensemble) RateHat() float64 {
+	vals := make([]float64, len(e.engines))
+	for k, s := range e.engines {
+		vals[k], _ = s.Clock()
+	}
+	return weightedMedian(vals, e.rawWeights())
+}
+
+// DifferenceSpan measures the interval between two counter readings
+// with the combined difference clock (combined rate only).
+func (e *Ensemble) DifferenceSpan(T1, T2 uint64) float64 {
+	p := e.RateHat()
+	if T2 >= T1 {
+		return float64(T2-T1) * p
+	}
+	return -float64(T1-T2) * p
+}
+
+// Agreement counts the servers whose error interval — the per-server
+// absolute time ± AgreementFactor·errScale, Marzullo-style — contains
+// the combined absolute time at counter value T. len(servers) means
+// full agreement; below a majority means the ensemble is running on a
+// minority of self-consistent servers and should be treated with
+// suspicion.
+func (e *Ensemble) Agreement(T uint64) int {
+	return e.TakeSnapshot(T).Agreement
+}
+
+// Snapshot is the combined state at one counter value, computed with a
+// single weight evaluation (the per-exchange status path uses it so
+// the combiner runs once per exchange, not once per reported field).
+type Snapshot struct {
+	Weights      []float64 // normalized per-server combining weights
+	Rate         float64   // combined rate estimate (s/cycle)
+	AbsoluteTime float64   // combined absolute clock at T (s)
+	Agreement    int       // servers whose interval contains AbsoluteTime
+}
+
+// TakeSnapshot evaluates the combiner once at counter value T. The
+// normalized weights serve the medians directly — weightedMedian is
+// invariant under uniform weight scaling.
+func (e *Ensemble) TakeSnapshot(T uint64) Snapshot {
+	ws := e.Weights()
+	abs := make([]float64, len(e.engines))
+	rates := make([]float64, len(e.engines))
+	for k, s := range e.engines {
+		abs[k] = s.AbsoluteTime(T)
+		rates[k], _ = s.Clock()
+	}
+	snap := Snapshot{
+		Weights:      ws,
+		Rate:         weightedMedian(rates, ws),
+		AbsoluteTime: weightedMedian(abs, ws),
+	}
+	for k := range e.members {
+		if e.members[k].count == 0 {
+			continue
+		}
+		bound := e.cfg.AgreementFactor * e.members[k].errScale()
+		if math.Abs(abs[k]-snap.AbsoluteTime) <= bound {
+			snap.Agreement++
+		}
+	}
+	return snap
+}
+
+// Exchanges returns the total number of exchanges processed across all
+// servers.
+func (e *Ensemble) Exchanges() int {
+	n := 0
+	for k := range e.members {
+		n += e.members[k].count
+	}
+	return n
+}
+
+// weightedMedian returns the smallest value v in vals such that the
+// summed weight of values ≤ v reaches half the total weight — the
+// classic robust combiner with breakdown point 1/2. Zero-weight entries
+// are ignored; with no positive weight the first value is returned (the
+// caller's fallback guarantees this only happens before any exchange).
+func weightedMedian(vals, ws []float64) float64 {
+	type wv struct{ v, w float64 }
+	items := make([]wv, 0, len(vals))
+	total := 0.0
+	for k := range vals {
+		if ws[k] > 0 {
+			items = append(items, wv{vals[k], ws[k]})
+			total += ws[k]
+		}
+	}
+	if len(items) == 0 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return vals[0]
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+	acc := 0.0
+	for _, it := range items {
+		acc += it.w
+		if acc >= total/2 {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}

@@ -1,0 +1,235 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestWeightedMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		ws   []float64
+		want float64
+	}{
+		{"single", []float64{3}, []float64{1}, 3},
+		{"odd-equal", []float64{1, 100, 2}, []float64{1, 1, 1}, 2},
+		{"outlier-outvoted", []float64{10, 11, 9999}, []float64{1, 1, 1}, 11},
+		{"low-outlier-outvoted", []float64{-9999, 10, 11}, []float64{1, 1, 1}, 10},
+		{"weight-dominates", []float64{1, 2, 3}, []float64{10, 1, 1}, 1},
+		{"zero-weights-skipped", []float64{5, 7, 9}, []float64{0, 1, 0}, 7},
+		{"all-zero-falls-back", []float64{5, 7}, []float64{0, 0}, 5},
+		{"even-lower-median", []float64{1, 2, 3, 4}, []float64{1, 1, 1, 1}, 2},
+		{"empty", nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := weightedMedian(c.vals, c.ws); got != c.want {
+			t.Errorf("%s: weightedMedian = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	bad := core.DefaultConfig(2e-9, 16)
+	bad.Delta = -1
+	if _, err := New(Config{Engines: []core.Config{bad}}); err == nil {
+		t.Error("invalid engine config accepted")
+	}
+	if _, err := New(Config{
+		Engines:      []core.Config{core.DefaultConfig(2e-9, 16)},
+		PenaltyDecay: 2,
+	}); err == nil {
+		t.Error("PenaltyDecay > 1 accepted")
+	}
+	for _, field := range []func(*Config){
+		func(c *Config) { c.PenaltyDecay = math.NaN() },
+		func(c *Config) { c.ErrAlpha = math.NaN() },
+		func(c *Config) { c.AgreementFactor = math.NaN() },
+		func(c *Config) { c.AgreementFactor = -1 },
+	} {
+		cfg := Config{Engines: []core.Config{core.DefaultConfig(2e-9, 16)}}
+		field(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("invalid trust parameter accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestProcessServerRange(t *testing.T) {
+	e := mustEnsemble(t, 2)
+	if _, err := e.Process(2, core.Input{Ta: 1, Tf: 2}); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	if _, err := e.Process(-1, core.Input{Ta: 1, Tf: 2}); err == nil {
+		t.Error("negative server accepted")
+	}
+}
+
+// --- synthetic multi-server harness ---
+
+const synthP = 2e-9 // counter period: 500 MHz
+
+func mustEnsemble(t *testing.T, n int) *Ensemble {
+	t.Helper()
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfgs[i] = core.DefaultConfig(synthP, 16)
+	}
+	e, err := New(Config{Engines: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// feed sends one clean exchange with server k at true time t; off is
+// the server's clock error (a faulty server's timestamps are shifted).
+func feed(t *testing.T, e *Ensemble, k int, now, off float64) core.Result {
+	t.Helper()
+	const rtt = 400e-6
+	in := core.Input{
+		Ta: uint64(now / synthP),
+		Tf: uint64((now + rtt) / synthP),
+		Tb: now + rtt/2 + off,
+		Te: now + rtt/2 + 20e-6 + off,
+	}
+	res, err := e.Process(k, in)
+	if err != nil {
+		t.Fatalf("server %d at %v: %v", k, now, err)
+	}
+	return res
+}
+
+// run feeds n rounds of staggered exchanges to every server; faultOff
+// gives each server's clock error as a function of the round.
+func run(t *testing.T, e *Ensemble, rounds int, faultOff func(server, round int) float64) float64 {
+	t.Helper()
+	now := 0.0
+	for i := 0; i < rounds; i++ {
+		for k := 0; k < e.Size(); k++ {
+			now = float64(i)*16 + float64(k)*16/float64(e.Size()) + 1
+			feed(t, e, k, now, faultOff(k, i))
+		}
+	}
+	return now
+}
+
+// TestFaultyServerOutvoted is the package's reason to exist: one of
+// three servers serves timestamps 5 ms off from the start. Each engine
+// is internally consistent — the faulty engine syncs happily to its
+// faulty server — but the weighted median follows the two that agree.
+func TestFaultyServerOutvoted(t *testing.T) {
+	const fault = 5e-3
+	e := mustEnsemble(t, 3)
+	last := run(t, e, 100, func(k, _ int) float64 {
+		if k == 2 {
+			return fault
+		}
+		return 0
+	})
+
+	T := uint64((last + 1) / synthP)
+	truth := last + 1
+	combined := e.AbsoluteTime(T) - truth
+	faulty := e.Engine(2).AbsoluteTime(T) - truth
+	if math.Abs(faulty) < fault/2 {
+		t.Fatalf("faulty engine error %v; expected ≈ %v — harness lost its teeth", faulty, fault)
+	}
+	if math.Abs(combined) > 1e-3*fault+100e-6 {
+		t.Errorf("combined clock error %v: the faulty server was not outvoted", combined)
+	}
+	if ag := e.Agreement(T); ag != 2 {
+		t.Errorf("Agreement = %d, want 2 (faulty server outside its interval)", ag)
+	}
+}
+
+// TestMidRunFaultPenalized: a fault that appears mid-run triggers the
+// faulty engine's own sanity checks, which the trust scoring converts
+// into a lower combining weight.
+func TestMidRunFaultPenalized(t *testing.T) {
+	e := mustEnsemble(t, 3)
+	run(t, e, 120, func(k, i int) float64 {
+		if k == 2 && i >= 60 {
+			return 5e-3
+		}
+		return 0
+	})
+	ws := e.Weights()
+	if !(ws[2] < ws[0] && ws[2] < ws[1]) {
+		t.Errorf("faulty server weight %v not below good servers %v, %v", ws[2], ws[0], ws[1])
+	}
+	sum := ws[0] + ws[1] + ws[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+// TestWarmupWeights: before any engine graduates warmup, servers with
+// data share weight equally so the combined clock exists immediately.
+func TestWarmupWeights(t *testing.T) {
+	e := mustEnsemble(t, 3)
+	if ws := e.Weights(); ws[0] != 0 || ws[1] != 0 || ws[2] != 0 {
+		t.Errorf("weights before any exchange = %v, want zeros", ws)
+	}
+	feed(t, e, 0, 1, 0)
+	feed(t, e, 1, 6, 0)
+	ws := e.Weights()
+	if ws[0] != 0.5 || ws[1] != 0.5 || ws[2] != 0 {
+		t.Errorf("warmup weights = %v, want [0.5 0.5 0]", ws)
+	}
+	if e.AbsoluteTime(uint64(7/synthP)) == 0 {
+		t.Error("combined clock unreadable during warmup")
+	}
+}
+
+// TestRateCombination: the combined rate is the weighted median of the
+// per-server rates, which all converge to the true counter period here.
+func TestRateCombination(t *testing.T) {
+	e := mustEnsemble(t, 3)
+	run(t, e, 80, func(_, _ int) float64 { return 0 })
+	if got := e.RateHat(); math.Abs(got/synthP-1) > 1e-6 {
+		t.Errorf("combined rate %v, want ≈ %v", got, synthP)
+	}
+	span := e.DifferenceSpan(0, uint64(1/synthP))
+	if math.Abs(span-1) > 1e-6 {
+		t.Errorf("DifferenceSpan over 1 s = %v", span)
+	}
+	if rev := e.DifferenceSpan(uint64(1/synthP), 0); math.Abs(rev+1) > 1e-6 {
+		t.Errorf("reverse DifferenceSpan = %v, want ≈ −1", rev)
+	}
+}
+
+// TestObserveIdentityPenalty: a server identity change re-bases that
+// engine and dents its trust.
+func TestObserveIdentityPenalty(t *testing.T) {
+	e := mustEnsemble(t, 2)
+	run(t, e, 50, func(_, _ int) float64 { return 0 })
+	if _, err := e.ObserveIdentity(5, core.Identity{RefID: 1, Stratum: 1}); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	if _, err := e.ObserveIdentity(0, core.Identity{RefID: 1, Stratum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Weights()[0]
+	if changed, err := e.ObserveIdentity(0, core.Identity{RefID: 2, Stratum: 1}); err != nil || !changed {
+		t.Fatalf("identity change not detected (changed=%v, err=%v)", changed, err)
+	}
+	if after := e.Weights()[0]; !(after < before) {
+		t.Errorf("weight after identity change %v, want < %v", after, before)
+	}
+}
+
+func TestExchangesCount(t *testing.T) {
+	e := mustEnsemble(t, 2)
+	feed(t, e, 0, 1, 0)
+	feed(t, e, 1, 2, 0)
+	feed(t, e, 0, 17, 0)
+	if got := e.Exchanges(); got != 3 {
+		t.Errorf("Exchanges = %d, want 3", got)
+	}
+}

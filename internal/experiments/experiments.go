@@ -158,6 +158,7 @@ func init() {
 		{"fig12", "Offset error over 3 months at polling 64 and 256", runFig12},
 		{"baseline", "SW-NTP baseline on identical traces", runBaseline},
 		{"ablation", "Contribution of each design mechanism", runAblation},
+		{"ensemble", "Faulty-server containment by the multi-server ensemble clock", runEnsemble},
 	}
 }
 

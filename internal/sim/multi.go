@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netem"
+	"repro/internal/oscillator"
+	"repro/internal/rng"
+)
+
+// MultiScenario describes a multi-server trace: ONE host (one
+// oscillator, one timestamping model) polling several NTP servers over
+// independent network paths. Sharing the oscillator is the point — the
+// per-server engines of an ensemble then calibrate the same counter,
+// making their clocks comparable, exactly as on a real host.
+//
+// Each server is polled every PollPeriod with its schedule staggered by
+// k·PollPeriod/N, the interleaving a MultiLive deployment produces.
+type MultiScenario struct {
+	Name       string
+	Oscillator oscillator.Config
+	Host       netem.HostStampConfig
+	Servers    []ServerSpec
+
+	// PollPeriod is the per-server polling period in seconds;
+	// PollJitterFrac dithers each emission by ±frac/2 of the period.
+	PollPeriod     float64
+	PollJitterFrac float64
+
+	// Duration of the trace in seconds.
+	Duration float64
+
+	// LossProb is the per-exchange loss probability (independent per
+	// server); Gaps are wholesale outage windows affecting every server.
+	LossProb float64
+	Gaps     []Gap
+
+	// DAGJitter is the reference monitor's timestamping noise (1 sigma).
+	DAGJitter float64
+
+	Seed uint64
+}
+
+// Validate reports scenario configuration errors.
+func (s MultiScenario) Validate() error {
+	if len(s.Servers) == 0 {
+		return fmt.Errorf("sim: MultiScenario needs at least one server")
+	}
+	single := Scenario{
+		PollPeriod:     s.PollPeriod,
+		PollJitterFrac: s.PollJitterFrac,
+		Duration:       s.Duration,
+		LossProb:       s.LossProb,
+	}
+	return single.Validate()
+}
+
+// NewMultiScenario assembles a standard multi-server scenario, e.g.
+// three ServerInt-class upstreams polled every 16 s from a machine-room
+// host.
+func NewMultiScenario(env Environment, servers []ServerSpec, poll, duration float64, seed uint64) MultiScenario {
+	base := NewScenario(env, ServerSpec{}, poll, duration, seed)
+	name := fmt.Sprintf("%s-ensemble%d", env, len(servers))
+	return MultiScenario{
+		Name:           name,
+		Oscillator:     base.Oscillator,
+		Host:           base.Host,
+		Servers:        servers,
+		PollPeriod:     poll,
+		PollJitterFrac: base.PollJitterFrac,
+		Duration:       duration,
+		LossProb:       base.LossProb,
+		DAGJitter:      base.DAGJitter,
+		Seed:           seed,
+	}
+}
+
+// MultiExchange is one exchange of a multi-server trace: the exchange
+// data plus the index of the server that served it.
+type MultiExchange struct {
+	Server int
+	Exchange
+}
+
+// MultiTrace is a generated multi-server dataset. Exchanges are in
+// emission order across servers (the order a single host would perform
+// them), so feeding them to an ensemble in slice order satisfies the
+// per-server arrival-order requirement.
+type MultiTrace struct {
+	Scenario  MultiScenario
+	Exchanges []MultiExchange
+	Osc       *oscillator.Oscillator
+}
+
+// GenerateMulti produces the deterministic multi-server trace described
+// by the scenario. Every server gets its own independent path, server
+// and loss random streams; the oscillator, host model and DAG monitor
+// are shared, as on a real host.
+func GenerateMulti(sc MultiScenario) (*MultiTrace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(sc.Seed)
+	oscSrc := root.Split()
+	hostSrc := root.Split()
+	dagSrc := root.Split()
+	pollSrc := root.Split()
+
+	osc, err := oscillator.New(sc.Oscillator, oscSrc.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	host, err := netem.NewHostStamp(sc.Host, hostSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	nSrv := len(sc.Servers)
+	fwd := make([]*netem.Path, nSrv)
+	back := make([]*netem.Path, nSrv)
+	srv := make([]*netem.Server, nSrv)
+	miss := make([]*rng.Source, nSrv)
+	for k, spec := range sc.Servers {
+		if fwd[k], err = netem.NewPath(spec.Forward, root.Split()); err != nil {
+			return nil, fmt.Errorf("sim: server %d forward path: %w", k, err)
+		}
+		if back[k], err = netem.NewPath(spec.Backward, root.Split()); err != nil {
+			return nil, fmt.Errorf("sim: server %d backward path: %w", k, err)
+		}
+		if srv[k], err = netem.NewServer(spec.Server, root.Split()); err != nil {
+			return nil, fmt.Errorf("sim: server %d: %w", k, err)
+		}
+		miss[k] = root.Split()
+	}
+
+	// Build the global emission schedule: server k polls at
+	// (i + 1/2 + k/N)·PollPeriod plus jitter, merged into time order so
+	// the shared host model draws its noise in emission order. The
+	// half-period base offset (as in the single-server generator) keeps
+	// the first emission positive for any valid jitter fraction.
+	type slot struct {
+		t      float64
+		server int
+		seq    int
+	}
+	perServer := int(sc.Duration / sc.PollPeriod)
+	slots := make([]slot, 0, perServer*nSrv)
+	for k := 0; k < nSrv; k++ {
+		for i := 0; i < perServer; i++ {
+			jitter := (pollSrc.Float64() - 0.5) * sc.PollJitterFrac * sc.PollPeriod
+			t := (float64(i)+0.5+float64(k)/float64(nSrv))*sc.PollPeriod + jitter
+			slots = append(slots, slot{t: t, server: k, seq: i})
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].t < slots[b].t })
+
+	exchanges := make([]MultiExchange, 0, len(slots))
+	for _, sl := range slots {
+		k := sl.server
+		ex := MultiExchange{Server: k, Exchange: Exchange{Seq: sl.seq}}
+
+		lost := miss[k].Bool(sc.LossProb)
+		for _, g := range sc.Gaps {
+			if sl.t >= g.From && sl.t < g.To {
+				lost = true
+			}
+		}
+		if lost {
+			ex.Lost = true
+			exchanges = append(exchanges, ex)
+			continue
+		}
+
+		stampExchange(&ex.Exchange, sl.t, osc, host, fwd[k], back[k], srv[k], dagSrc, sc.DAGJitter)
+		exchanges = append(exchanges, ex)
+	}
+
+	return &MultiTrace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+}
+
+// Completed returns the non-lost exchanges, in emission order.
+func (tr *MultiTrace) Completed() []MultiExchange {
+	out := make([]MultiExchange, 0, len(tr.Exchanges))
+	for _, e := range tr.Exchanges {
+		if !e.Lost {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CompletedFor returns the non-lost exchanges of one server, the feed a
+// single-server clock pointed at it would see.
+func (tr *MultiTrace) CompletedFor(server int) []Exchange {
+	var out []Exchange
+	for _, e := range tr.Exchanges {
+		if !e.Lost && e.Server == server {
+			out = append(out, e.Exchange)
+		}
+	}
+	return out
+}

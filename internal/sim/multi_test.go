@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timebase"
+)
+
+func threeServers() []ServerSpec {
+	return []ServerSpec{ServerLoc(), ServerInt(), ServerExt()}
+}
+
+func TestGenerateMultiDeterministic(t *testing.T) {
+	sc := NewMultiScenario(MachineRoom, threeServers(), 16, 6*timebase.Hour, 42)
+	a, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exchanges) != len(b.Exchanges) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Exchanges), len(b.Exchanges))
+	}
+	for i := range a.Exchanges {
+		if a.Exchanges[i] != b.Exchanges[i] {
+			t.Fatalf("exchange %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGenerateMultiShape(t *testing.T) {
+	servers := threeServers()
+	sc := NewMultiScenario(MachineRoom, servers, 16, timebase.Day, 7)
+	tr, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Roughly N per-server schedules' worth of exchanges.
+	perServer := int(timebase.Day / 16)
+	if got, want := len(tr.Exchanges), perServer*len(servers); got != want {
+		t.Errorf("total exchanges %d, want %d", got, want)
+	}
+
+	// Emission order globally, per-server Tf strictly increasing (the
+	// engines' feeding requirement), and every server represented.
+	lastTrueTa := math.Inf(-1)
+	lastTf := map[int]uint64{}
+	counts := map[int]int{}
+	for i, e := range tr.Completed() {
+		if e.TrueTa < lastTrueTa-1 { // tolerate sub-second RTT overlap
+			t.Fatalf("exchange %d out of emission order", i)
+		}
+		lastTrueTa = e.TrueTa
+		if prev, ok := lastTf[e.Server]; ok && e.Tf <= prev {
+			t.Fatalf("server %d: Tf not increasing at exchange %d", e.Server, i)
+		}
+		lastTf[e.Server] = e.Tf
+		counts[e.Server]++
+	}
+	for k := range servers {
+		if counts[k] < perServer/2 {
+			t.Errorf("server %d only has %d completed exchanges", k, counts[k])
+		}
+	}
+
+	// Each server's minimum observed RTT approaches its spec minimum.
+	for k, spec := range servers {
+		minRTT := math.Inf(1)
+		for _, e := range tr.CompletedFor(k) {
+			if r := e.RTTTrue(); r < minRTT {
+				minRTT = r
+			}
+		}
+		if minRTT < spec.MinRTT() || minRTT > spec.MinRTT()*1.5 {
+			t.Errorf("server %d min RTT %v, spec minimum %v", k, minRTT, spec.MinRTT())
+		}
+	}
+}
+
+// TestGenerateMultiHighJitter: a jitter fraction larger than the 1/N
+// stagger spacing must not push server 0's first emission before the
+// time origin (the half-period base offset guarantees the margin, as
+// in the single-server generator).
+func TestGenerateMultiHighJitter(t *testing.T) {
+	sc := NewMultiScenario(MachineRoom, threeServers(), 16, timebase.Hour, 3)
+	sc.PollJitterFrac = 0.9
+	tr, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Completed() {
+		if e.TrueTa < 0 {
+			t.Fatalf("emission before the origin at %v", e.TrueTa)
+		}
+	}
+}
+
+func TestGenerateMultiGapsAndValidation(t *testing.T) {
+	sc := NewMultiScenario(MachineRoom, threeServers(), 16, 6*timebase.Hour, 9)
+	sc.Gaps = []Gap{{From: timebase.Hour, To: 2 * timebase.Hour}}
+	tr, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Completed() {
+		if e.TrueTa >= timebase.Hour && e.TrueTa < 2*timebase.Hour {
+			t.Fatalf("completed exchange inside the gap at %v", e.TrueTa)
+		}
+	}
+
+	if _, err := GenerateMulti(MultiScenario{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	bad := NewMultiScenario(MachineRoom, nil, 16, timebase.Hour, 1)
+	if _, err := GenerateMulti(bad); err == nil {
+		t.Error("scenario without servers accepted")
+	}
+}

@@ -347,35 +347,46 @@ func Generate(sc Scenario) (*Trace, error) {
 			continue
 		}
 
-		// Host stamps Ta slightly before the true departure.
-		ta := tStamp + host.SendLead()
-		ex.Ta = osc.ReadTSC(tStamp)
-		ex.TrueTa = ta
-
-		tb := ta + fwd.Delay(ta)
-		ex.TrueTb = tb
-		ex.Tb = srv.StampArrival(tb)
-
-		te := tb + srv.Turnaround()
-		ex.TrueTe = te
-		ex.Te = srv.StampDeparture(te)
-
-		tf := te + back.Delay(te)
-		ex.TrueTf = tf
-		// The DAG taps the wire just before the host interface; its
-		// corrected stamp is true arrival plus reference jitter.
-		ex.Tg = tf + dagSrc.Normal(0, sc.DAGJitter)
-		// The host's driver stamp follows the arrival by the interrupt
-		// latency (plus rare scheduling excursions); the corrected stamp
-		// keeps only the irreducible base latency.
-		lagBase, lagExtra := host.RecvLagParts()
-		ex.TfCorr = osc.ReadTSC(tf + lagBase)
-		ex.Tf = osc.ReadTSC(tf + lagBase + lagExtra)
-
+		stampExchange(&ex, tStamp, osc, host, fwd, back, srv, dagSrc, sc.DAGJitter)
 		exchanges = append(exchanges, ex)
 	}
 
 	return &Trace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+}
+
+// stampExchange realizes one completed exchange emitted at tStamp
+// through the given path and server models, stamping with the shared
+// oscillator, host model and DAG monitor. Both generators (Generate
+// and GenerateMulti) run this exact sequence, so single-server and
+// multi-server traces always model stamping identically — the
+// ensemble experiments compare clocks across the two.
+func stampExchange(ex *Exchange, tStamp float64, osc *oscillator.Oscillator,
+	host *netem.HostStamp, fwd, back *netem.Path, srv *netem.Server,
+	dagSrc *rng.Source, dagJitter float64) {
+	// Host stamps Ta slightly before the true departure.
+	ta := tStamp + host.SendLead()
+	ex.Ta = osc.ReadTSC(tStamp)
+	ex.TrueTa = ta
+
+	tb := ta + fwd.Delay(ta)
+	ex.TrueTb = tb
+	ex.Tb = srv.StampArrival(tb)
+
+	te := tb + srv.Turnaround()
+	ex.TrueTe = te
+	ex.Te = srv.StampDeparture(te)
+
+	tf := te + back.Delay(te)
+	ex.TrueTf = tf
+	// The DAG taps the wire just before the host interface; its
+	// corrected stamp is true arrival plus reference jitter.
+	ex.Tg = tf + dagSrc.Normal(0, dagJitter)
+	// The host's driver stamp follows the arrival by the interrupt
+	// latency (plus rare scheduling excursions); the corrected stamp
+	// keeps only the irreducible base latency.
+	lagBase, lagExtra := host.RecvLagParts()
+	ex.TfCorr = osc.ReadTSC(tf + lagBase)
+	ex.Tf = osc.ReadTSC(tf + lagBase + lagExtra)
 }
 
 // Completed returns the non-lost exchanges.

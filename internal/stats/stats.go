@@ -1,7 +1,22 @@
 // Package stats provides the robust summary statistics the paper's
-// evaluation reports: percentiles (Figure 9/10 plot the 1/25/50/75/99
-// percentile curves), medians and inter-quartile ranges (Figure 12), and
-// fixed-bin histograms.
+// evaluation reports. The paper deliberately summarizes error series
+// with order statistics rather than moments — congestion makes the
+// tails heavy, and a mean would be dominated by the rare excursions
+// the algorithms are designed to ignore — so the package centers on:
+//
+//   - Percentile/Quantiles/FiveNum: the 1/25/50/75/99-percentile
+//     curves of Figures 9 and 10 (linear interpolation between order
+//     statistics);
+//   - Median and IQR: the location/spread pair of Figure 12;
+//   - CoverageBounds: the tightest interval holding a given fraction
+//     of the data, used to frame the 99%-coverage histograms;
+//   - Histogram: fixed-bin counts with fractional normalization;
+//   - Mean/Std/MinMax: the conventional moments, for the few places
+//     the paper does use them (oscillator characterization).
+//
+// Inputs are plain []float64; functions panic on empty input or
+// out-of-range parameters — callers own validation, these are
+// evaluation-path helpers, not a public API.
 package stats
 
 import (

@@ -17,6 +17,19 @@ package window
 type MinTracker struct {
 	dq  Ring[minEntry]
 	max int // largest seq pushed, for order checking
+
+	// KeepOldestTies selects the tie policy for equal minima. The zero
+	// value (false) keeps only the newest of equal values — the right
+	// choice when only the minimum VALUE matters, because the newest
+	// equal sample survives window eviction longest and the deque stays
+	// strictly increasing. Set it to true when the IDENTITY of the
+	// minimum matters and ties must resolve to the oldest sample (the
+	// engine's local-rate near/far sub-windows pick the first record of
+	// minimal point error, and point-error ties at exactly zero are
+	// common): equal values are then all retained, at the cost of a
+	// potentially longer deque. Must be set before the first Push and
+	// not changed afterwards.
+	KeepOldestTies bool
 }
 
 type minEntry struct {
@@ -31,10 +44,17 @@ func (m *MinTracker) Push(seq int, val float64) {
 		panic("window: MinTracker samples must have increasing seq")
 	}
 	m.max = seq
-	// Ties evict the older entry: the newest of equal minima survives
-	// longest, maximizing how long the deque can answer with it.
-	for m.dq.Len() > 0 && m.dq.Back().val >= val {
-		m.dq.PopBack()
+	if m.KeepOldestTies {
+		// Ties retained: the front stays the oldest minimal sample.
+		for m.dq.Len() > 0 && m.dq.Back().val > val {
+			m.dq.PopBack()
+		}
+	} else {
+		// Ties evict the older entry: the newest of equal minima survives
+		// longest, maximizing how long the deque can answer with it.
+		for m.dq.Len() > 0 && m.dq.Back().val >= val {
+			m.dq.PopBack()
+		}
 	}
 	m.dq.PushBack(minEntry{seq: seq, val: val})
 }
@@ -68,7 +88,9 @@ func (m *MinTracker) Min() (val float64, ok bool) {
 // sample has sequence number >= seq.
 //
 // Cost is O(log n) in the deque length (a binary search for the first
-// entry at or after seq; entry values increase front to back).
+// entry at or after seq; entry values increase front to back — or are
+// non-decreasing under KeepOldestTies, which preserves the suffix-min
+// property just the same).
 func (m *MinTracker) SuffixMin(seq int) (val float64, ok bool) {
 	n := m.dq.Len()
 	lo, hi := 0, n // invariant: entries before lo have seq < target
@@ -87,7 +109,8 @@ func (m *MinTracker) SuffixMin(seq int) (val float64, ok bool) {
 }
 
 // MinSeq returns the sequence number of the sample that attains the
-// current minimum (the newest such sample when tied).
+// current minimum. Ties resolve by the tracker's tie policy: the newest
+// such sample by default, the oldest under KeepOldestTies.
 func (m *MinTracker) MinSeq() (seq int, ok bool) {
 	if m.dq.Len() == 0 {
 		return 0, false

@@ -52,6 +52,66 @@ func TestMinTrackerTies(t *testing.T) {
 	}
 }
 
+func TestMinTrackerKeepOldestTies(t *testing.T) {
+	m := MinTracker{KeepOldestTies: true}
+	m.Push(0, 2)
+	m.Push(1, 2)
+	m.Push(2, 2)
+	// All equal minima are retained; the front is the oldest one.
+	if s, _ := m.MinSeq(); s != 0 {
+		t.Errorf("MinSeq = %d, want 0 (oldest tie)", s)
+	}
+	m.EvictBefore(1)
+	if s, _ := m.MinSeq(); s != 1 {
+		t.Errorf("MinSeq after evict = %d, want 1", s)
+	}
+	m.Push(3, 1)
+	if s, _ := m.MinSeq(); s != 3 {
+		t.Errorf("MinSeq after smaller push = %d, want 3", s)
+	}
+	m.Push(4, 1) // tie with the new minimum: the older must keep winning
+	if s, _ := m.MinSeq(); s != 3 {
+		t.Errorf("MinSeq after tied push = %d, want 3", s)
+	}
+}
+
+// TestMinTrackerKeepOldestTiesAgainstNaive: with the oldest-tie policy,
+// MinSeq must match the FIRST index attaining the window minimum — the
+// selection rule of the engine's local-rate near/far sub-window scans.
+func TestMinTrackerKeepOldestTiesAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		const n, w = 500, 29
+		vals := make([]float64, n)
+		for i := range vals {
+			// Coarse quantization makes ties frequent.
+			vals[i] = float64(int(src.Float64() * 8))
+		}
+		m := MinTracker{KeepOldestTies: true}
+		for i := 0; i < n; i++ {
+			m.Push(i, vals[i])
+			m.EvictBefore(i - w + 1)
+			naiveVal, naiveSeq := math.Inf(1), -1
+			for j := maxInt(0, i-w+1); j <= i; j++ {
+				if vals[j] < naiveVal {
+					naiveVal, naiveSeq = vals[j], j
+				}
+			}
+			gotVal, ok := m.Min()
+			gotSeq, _ := m.MinSeq()
+			if !ok || gotVal != naiveVal || gotSeq != naiveSeq {
+				t.Logf("step %d: tracker (%v, seq %d, ok=%v), naive (%v, seq %d)",
+					i, gotVal, gotSeq, ok, naiveVal, naiveSeq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMinTrackerOrderPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

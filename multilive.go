@@ -1,0 +1,179 @@
+package tscclock
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ntp"
+)
+
+// MultiLiveOptions configures a live multi-server synchronizer.
+type MultiLiveOptions struct {
+	// Servers are the upstream NTP server addresses ("host:123"). At
+	// least one is required; three or more is what makes the ensemble's
+	// majority vote meaningful.
+	Servers []string
+	// Poll is the per-server polling interval floor. Default: 64 s. The
+	// aggregate request rate is Servers/Poll, so raise Poll when polling
+	// many public servers.
+	Poll time.Duration
+	// MaxPoll bounds the per-server adaptive backoff. Default: 16×Poll
+	// (capped at 1024 s).
+	MaxPoll time.Duration
+	// Timeout bounds each exchange. Default: 4 s.
+	Timeout time.Duration
+	// Clock carries the per-server calibration options, as LiveOptions
+	// does for Live; NominalPeriod and PollPeriod take the same
+	// defaults.
+	Clock Options
+	// Ensemble trust tuning; zero values take the defaults.
+	PenaltyDecay    float64
+	ErrAlpha        float64
+	AgreementFactor float64
+}
+
+// MultiLive is the multi-server counterpart of Live: the full pipeline
+// against several NTP servers over UDP, one engine per server sharing a
+// single host counter, combined by the ensemble's weighted-median
+// agreement. Per-server polling schedules are staggered so exchanges
+// interleave instead of bursting, and each server backs off
+// independently with its own adaptive Poller.
+type MultiLive struct {
+	ens     *Ensemble
+	conns   []net.Conn
+	clients []*ntp.Client
+	pollers []*Poller
+	counter ntp.Counter
+	poll    time.Duration
+}
+
+// DialMultiLive connects to every server and prepares the synchronizer.
+// Call Step for single exchanges or Run for the staggered polling
+// loops. Dialing fails closed: if any server address is unreachable the
+// whole dial fails and already-open sockets are released.
+func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
+	if len(opts.Servers) == 0 {
+		return nil, fmt.Errorf("tscclock: MultiLiveOptions.Servers is required")
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 64 * time.Second
+	}
+	maxPoll := opts.MaxPoll
+	if maxPoll <= 0 {
+		maxPoll = 16 * poll
+		if maxPoll > 1024*time.Second {
+			maxPoll = 1024 * time.Second
+		}
+	}
+	counter, period := ntp.MonotonicCounter()
+	clockOpts := opts.Clock
+	if clockOpts.NominalPeriod == 0 {
+		clockOpts.NominalPeriod = period
+	}
+	if clockOpts.PollPeriod == 0 {
+		clockOpts.PollPeriod = poll.Seconds()
+	}
+	ens, err := NewEnsemble(EnsembleOptions{
+		Servers:         len(opts.Servers),
+		Clock:           clockOpts,
+		PenaltyDecay:    opts.PenaltyDecay,
+		ErrAlpha:        opts.ErrAlpha,
+		AgreementFactor: opts.AgreementFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiLive{
+		ens:     ens,
+		counter: counter,
+		poll:    poll,
+	}
+	for _, addr := range opts.Servers {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("tscclock: dial %s: %w", addr, err)
+		}
+		m.conns = append(m.conns, conn)
+		m.clients = append(m.clients, ntp.NewClient(conn, counter, opts.Timeout))
+		m.pollers = append(m.pollers, NewPoller(poll, maxPoll))
+	}
+	return m, nil
+}
+
+// Ensemble returns the underlying combined clock.
+func (m *MultiLive) Ensemble() *Ensemble { return m.ens }
+
+// Counter reads the shared raw host counter.
+func (m *MultiLive) Counter() uint64 { return m.counter() }
+
+// Step performs one NTP exchange with server k and feeds it to the
+// ensemble, including the server's identity. A failed exchange returns
+// an error and feeds nothing — the engine coasts, as designed.
+func (m *MultiLive) Step(k int) (EnsembleStatus, error) {
+	if k < 0 || k >= len(m.clients) {
+		return EnsembleStatus{}, fmt.Errorf("tscclock: server %d out of range [0,%d)", k, len(m.clients))
+	}
+	raw, err := m.clients[k].Exchange()
+	if err != nil {
+		return EnsembleStatus{}, err
+	}
+	return m.ens.ProcessNTPExchangeFrom(k, raw.Ta, raw.Tf, raw.Tb, raw.Te, raw.RefID, raw.Stratum)
+}
+
+// Run polls every server until the context is cancelled, one goroutine
+// per server. Server k's first poll is delayed by k·Poll/N, staggering
+// the schedules so the combined clock receives a steady interleaved
+// stream rather than synchronized bursts; after that each server paces
+// itself with its own adaptive Poller (fast during warmup and after
+// disturbances, backed off to MaxPoll once calibrated). onStep, when
+// installed, is called after every attempt from the polling goroutines
+// (serialize any shared state it touches).
+func (m *MultiLive) Run(ctx context.Context, onStep func(server int, st EnsembleStatus, err error)) error {
+	var wg sync.WaitGroup
+	for k := range m.clients {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			stagger := time.Duration(k) * m.poll / time.Duration(len(m.clients))
+			timer := time.NewTimer(stagger)
+			defer timer.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
+				st, err := m.Step(k)
+				if onStep != nil {
+					onStep(k, st, err)
+				}
+				timer.Reset(m.pollers[k].Observe(st.Status, err))
+			}
+		}(k)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Now reads the combined absolute clock as a wall-clock time, resolving
+// the NTP era with the system clock as pivot.
+func (m *MultiLive) Now() time.Time {
+	sec := m.ens.AbsoluteTime(m.counter())
+	return ntp.Time64FromSeconds(sec).Time(time.Now())
+}
+
+// Close releases every UDP socket.
+func (m *MultiLive) Close() error {
+	var first error
+	for _, c := range m.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,101 @@
+package tscclock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDialMultiLiveValidation(t *testing.T) {
+	if _, err := DialMultiLive(MultiLiveOptions{}); err == nil {
+		t.Error("missing servers accepted")
+	}
+}
+
+func TestMultiLiveStep(t *testing.T) {
+	addrs := []string{startServer(t).String(), startServer(t).String(), startServer(t).String()}
+	m, err := DialMultiLive(MultiLiveOptions{
+		Servers: addrs,
+		Poll:    50 * time.Millisecond,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 4; i++ {
+		for k := range addrs {
+			st, err := m.Step(k)
+			if err != nil {
+				t.Fatalf("server %d step %d: %v", k, i, err)
+			}
+			if st.Server != k {
+				t.Errorf("status names server %d, want %d", st.Server, k)
+			}
+			if st.RTT <= 0 || st.RTT > 1 {
+				t.Errorf("loopback RTT %v implausible", st.RTT)
+			}
+		}
+	}
+	if _, err := m.Step(99); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+	if got := m.Ensemble().Exchanges(); got != 12 {
+		t.Errorf("exchanges = %d, want 12", got)
+	}
+	// All three upstream servers stamp from the same OS clock, so the
+	// combined absolute clock must land within milliseconds immediately.
+	if d := m.Now().Sub(time.Now()); d > 50*time.Millisecond || d < -50*time.Millisecond {
+		t.Errorf("Now() differs from OS clock by %v", d)
+	}
+	if a, b := m.Counter(), m.Counter(); b < a {
+		t.Error("counter not monotonic")
+	}
+}
+
+func TestMultiLiveRunStaggered(t *testing.T) {
+	addrs := []string{startServer(t).String(), startServer(t).String(), startServer(t).String()}
+	m, err := DialMultiLive(MultiLiveOptions{
+		Servers: addrs,
+		Poll:    30 * time.Millisecond,
+		Timeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	var mu sync.Mutex
+	steps := map[int]int{}
+	err = m.Run(ctx, func(k int, st EnsembleStatus, err error) {
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		steps[k]++
+		mu.Unlock()
+	})
+	if err != context.DeadlineExceeded {
+		t.Errorf("Run returned %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for k := range addrs {
+		if steps[k] < 2 {
+			t.Errorf("server %d only made %d successful steps", k, steps[k])
+		}
+	}
+}
+
+func TestDialMultiLiveFailsClosed(t *testing.T) {
+	good := startServer(t).String()
+	if _, err := DialMultiLive(MultiLiveOptions{
+		Servers: []string{good, "bad host name without port"},
+	}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

@@ -47,7 +47,7 @@ func (p *Poller) Observe(st Status, exchangeErr error) time.Duration {
 		p.current = p.min
 	case st.Warmup:
 		p.current = p.min
-	case st.UpwardShiftDetected, st.OffsetSanity, st.PoorQuality:
+	case st.UpwardShiftDetected, st.OffsetSanity, st.PoorQuality, st.ServerChanged:
 		// Something changed or data quality collapsed: gather evidence
 		// quickly (re-detection windows are packet-count based, so a
 		// faster poll shortens them in wall-clock terms).

@@ -63,6 +63,77 @@ func TestPollerResetsOnTrouble(t *testing.T) {
 	}
 }
 
+// TestPollerObserveTransitions walks Observe through every policy arc
+// in one continuous run: warmup pinning, quiet-good doubling, the max
+// clamp, a trouble reset, and the recovery climb afterwards.
+func TestPollerObserveTransitions(t *testing.T) {
+	p := NewPoller(16*time.Second, 128*time.Second)
+	steps := []struct {
+		name string
+		st   Status
+		err  error
+		want time.Duration
+	}{
+		{"warmup holds min", Status{Warmup: true}, nil, 16 * time.Second},
+		{"warmup again", Status{Warmup: true}, nil, 16 * time.Second},
+		{"first quiet doubles", Status{}, nil, 32 * time.Second},
+		{"second quiet doubles", Status{}, nil, 64 * time.Second},
+		{"third quiet doubles", Status{}, nil, 128 * time.Second},
+		{"clamped at max", Status{}, nil, 128 * time.Second},
+		{"shift resets to min", Status{UpwardShiftDetected: true}, nil, 16 * time.Second},
+		{"recovery climbs again", Status{}, nil, 32 * time.Second},
+		{"server change resets to min", Status{ServerChanged: true}, nil, 16 * time.Second},
+		{"climbs after server change", Status{}, nil, 32 * time.Second},
+		{"exchange error resets", Status{}, errors.New("timeout"), 16 * time.Second},
+		{"poor quality pins min", Status{PoorQuality: true}, nil, 16 * time.Second},
+		{"sanity pins min", Status{OffsetSanity: true}, nil, 16 * time.Second},
+		{"quiet resumes from min", Status{}, nil, 32 * time.Second},
+	}
+	for _, s := range steps {
+		if got := p.Observe(s.st, s.err); got != s.want {
+			t.Errorf("%s: interval %v, want %v", s.name, got, s.want)
+		}
+		if p.Interval() != p.current {
+			t.Errorf("%s: Interval() disagrees with state", s.name)
+		}
+	}
+}
+
+// TestPollerMinClamp: the interval can never leave [min, max], whatever
+// sequence of outcomes is observed — including an error on the very
+// first observation and degenerate min == max bounds.
+func TestPollerMinClamp(t *testing.T) {
+	p := NewPoller(20*time.Second, 40*time.Second)
+	if got := p.Observe(Status{}, errors.New("first poll lost")); got != 20*time.Second {
+		t.Errorf("error on first observation: %v, want min", got)
+	}
+	outcomes := []struct {
+		st  Status
+		err error
+	}{
+		{Status{}, nil},
+		{Status{Warmup: true}, nil},
+		{Status{}, nil},
+		{Status{}, nil},
+		{Status{PoorQuality: true}, nil},
+		{Status{}, errors.New("x")},
+		{Status{}, nil},
+	}
+	for i, o := range outcomes {
+		got := p.Observe(o.st, o.err)
+		if got < 20*time.Second || got > 40*time.Second {
+			t.Errorf("step %d: interval %v outside [20s, 40s]", i, got)
+		}
+	}
+
+	fixed := NewPoller(time.Minute, time.Minute)
+	for i := 0; i < 3; i++ {
+		if got := fixed.Observe(Status{}, nil); got != time.Minute {
+			t.Errorf("min==max step %d: interval %v, want 1m", i, got)
+		}
+	}
+}
+
 func TestRunAdaptiveAgainstServer(t *testing.T) {
 	addr := startServer(t)
 	l, err := DialLive(LiveOptions{Server: addr.String(), Timeout: time.Second})

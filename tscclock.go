@@ -205,8 +205,14 @@ func (c *Clock) processWithIdentity(ta, tf uint64, tb, te float64, id core.Ident
 		return Status{}, err
 	}
 	changed := c.sync.ObserveIdentity(id)
+	return statusFromResult(res, changed), nil
+}
+
+// statusFromResult lowers an engine result onto the public Status; the
+// single mapping shared by Clock and Ensemble.
+func statusFromResult(res core.Result, serverChanged bool) Status {
 	return Status{
-		ServerChanged:       changed,
+		ServerChanged:       serverChanged,
 		Period:              res.PHat,
 		PeriodQuality:       res.PQuality,
 		LocalPeriod:         res.PLocal,
@@ -221,7 +227,7 @@ func (c *Clock) processWithIdentity(ta, tf uint64, tb, te float64, id core.Ident
 		OffsetSanity:        res.OffsetSanityTriggered,
 		UpwardShiftDetected: res.UpwardShiftDetected,
 		Warmup:              res.Warmup,
-	}, nil
+	}
 }
 
 // AbsoluteTime reads the absolute clock Ca at a counter value: seconds
