@@ -23,6 +23,19 @@ type EnsembleOptions struct {
 	PenaltyDecay    float64
 	ErrAlpha        float64
 	AgreementFactor float64
+
+	// ReadmitAfter is the falseticker re-admission hysteresis: the
+	// number of consecutive selection sweeps a flagged server must
+	// intersect the majority before it votes again. Zero takes the
+	// default (8).
+	ReadmitAfter int
+
+	// DisableSelection turns the interval-intersection selection stage
+	// off, reverting to the pure trust-weighted median over every ready
+	// server. For ablation; leave it off in production — without
+	// selection, a minority of agreeing servers holding more than half
+	// the total weight can drag the combined clock.
+	DisableSelection bool
 }
 
 // EnsembleStatus reports the state after one exchange through the
@@ -38,7 +51,11 @@ type EnsembleStatus struct {
 	// Weight is that server's normalized combining weight after the
 	// exchange. Servers still in warmup weigh 0 once any server has
 	// graduated; until then every polled server weighs equally so the
-	// combined clock is defined from the first exchange.
+	// combined clock is defined from the first exchange. Flagged
+	// falsetickers also weigh 0 — except during the rare transient in
+	// which *every* ready server is excluded (a mass eviction, or all
+	// still in re-admission probation), when the ready servers vote as
+	// if selection were off rather than leave the clock undefined.
 	Weight float64
 	// Rate is the combined rate estimate (seconds per counter cycle).
 	Rate float64
@@ -46,13 +63,28 @@ type EnsembleStatus struct {
 	// combined absolute time at this exchange's receive stamp —
 	// Servers means full agreement, below a majority is a red flag.
 	Agreement int
+	// Selected marks the truechimer set after this exchange: the ready
+	// servers whose correctness intervals intersect the majority.
+	// Falsetickers counts ready servers currently voted out by the
+	// interval-intersection stage (zero selected-set membership).
+	Selected     []bool
+	Falsetickers int
+	// AsymmetryHint is each server's signed absolute-clock disagreement
+	// against the selected-set midpoint, in seconds — an estimate of
+	// per-path asymmetry error that no single server/path can observe
+	// about itself (paper §2.3). Zero for servers still in warmup.
+	AsymmetryHint []float64
 }
 
 // Ensemble is the multi-server counterpart of Clock: one calibration
 // engine per upstream NTP server over a shared host counter, combined
-// into a single robust clock by trust-weighted median agreement so that
-// a faulty or route-shifted server is outvoted rather than followed.
-// It is safe for concurrent use, like Clock.
+// into a single robust clock by interval-intersection selection
+// (Marzullo/NTP-select: only the largest mutually-agreeing majority
+// keeps its vote, excluded falsetickers re-enter only after sustained
+// re-agreement) followed by trust-weighted median agreement — so faulty
+// or route-shifted servers, even ones that agree with each other, are
+// outvoted rather than followed. It is safe for concurrent use, like
+// Clock.
 type Ensemble struct {
 	mu  sync.Mutex
 	ens *ensemble.Ensemble
@@ -68,10 +100,12 @@ func NewEnsemble(opts EnsembleOptions) (*Ensemble, error) {
 		cfgs[i] = opts.Clock.buildConfig()
 	}
 	ens, err := ensemble.New(ensemble.Config{
-		Engines:         cfgs,
-		PenaltyDecay:    opts.PenaltyDecay,
-		ErrAlpha:        opts.ErrAlpha,
-		AgreementFactor: opts.AgreementFactor,
+		Engines:          cfgs,
+		PenaltyDecay:     opts.PenaltyDecay,
+		ErrAlpha:         opts.ErrAlpha,
+		AgreementFactor:  opts.AgreementFactor,
+		ReadmitAfter:     opts.ReadmitAfter,
+		DisableSelection: opts.DisableSelection,
 	})
 	if err != nil {
 		return nil, err
@@ -107,13 +141,22 @@ func (e *Ensemble) processWithIdentity(server int, ta, tf uint64, tb, te float64
 	}
 	// The index was validated by Process above.
 	changed, _ := e.ens.ObserveIdentity(server, id)
+	// The snapshot's slices are scratch-backed; copy what escapes the
+	// lock.
 	snap := e.ens.TakeSnapshot(tf)
+	sel := make([]bool, len(snap.Selected))
+	copy(sel, snap.Selected)
+	hint := make([]float64, len(snap.AsymmetryHint))
+	copy(hint, snap.AsymmetryHint)
 	return EnsembleStatus{
-		Status:    statusFromResult(res, changed),
-		Server:    server,
-		Weight:    snap.Weights[server],
-		Rate:      snap.Rate,
-		Agreement: snap.Agreement,
+		Status:        statusFromResult(res, changed),
+		Server:        server,
+		Weight:        snap.Weights[server],
+		Rate:          snap.Rate,
+		Agreement:     snap.Agreement,
+		Selected:      sel,
+		Falsetickers:  snap.Falsetickers,
+		AsymmetryHint: hint,
 	}, nil
 }
 
@@ -140,7 +183,9 @@ func (e *Ensemble) Period() float64 {
 	return e.ens.RateHat()
 }
 
-// Weights returns the current normalized per-server combining weights.
+// Weights returns the current normalized per-server combining weights
+// (zero for warmup servers and flagged falsetickers; see
+// EnsembleStatus.Weight for the all-excluded transient).
 func (e *Ensemble) Weights() []float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()

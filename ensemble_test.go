@@ -65,6 +65,18 @@ func TestEnsembleOutvotesFaultyServer(t *testing.T) {
 	if last.Agreement != 2 {
 		t.Errorf("Agreement = %d, want 2", last.Agreement)
 	}
+	// The selection stage names the faulty server outright: voted out,
+	// zero selected-set membership, and an asymmetry hint that localizes
+	// the ~5 ms disagreement on it.
+	if last.Falsetickers != 1 {
+		t.Errorf("Falsetickers = %d, want 1", last.Falsetickers)
+	}
+	if len(last.Selected) != 3 || !last.Selected[0] || !last.Selected[1] || last.Selected[2] {
+		t.Errorf("Selected = %v, want [true true false]", last.Selected)
+	}
+	if len(last.AsymmetryHint) != 3 || math.Abs(last.AsymmetryHint[2]-fault) > fault/2 {
+		t.Errorf("AsymmetryHint = %v, want ≈ %v on server 2", last.AsymmetryHint, fault)
+	}
 	if n := e.Servers(); n != 3 {
 		t.Errorf("Servers = %d", n)
 	}
@@ -79,12 +91,52 @@ func TestEnsembleOutvotesFaultyServer(t *testing.T) {
 	if len(states) != 3 || states[2].Exchanges != 100 {
 		t.Errorf("ServerStates = %+v", states)
 	}
+	if !states[2].Falseticker || states[2].Selected {
+		t.Errorf("ServerStates[2] = %+v, want falseticker", states[2])
+	}
 	// The combined rate is sane and Between measures with it.
 	if p := e.Period(); math.Abs(p/2e-9-1) > 1e-6 {
 		t.Errorf("combined period %v", p)
 	}
 	if d := e.Between(0, uint64(1/2e-9)); math.Abs(d-1) > 1e-6 {
 		t.Errorf("Between over 1 s = %v", d)
+	}
+}
+
+// TestEnsembleSelectionDisabled: the ablation switch reverts to the
+// pure weighted-median combiner — no falseticker classification, every
+// ready server keeps voting.
+func TestEnsembleSelectionDisabled(t *testing.T) {
+	e, err := NewEnsemble(EnsembleOptions{
+		Servers:          3,
+		Clock:            Options{NominalPeriod: 2e-9, PollPeriod: 16},
+		DisableSelection: true,
+		ReadmitAfter:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last EnsembleStatus
+	for i := 0; i < 100; i++ {
+		for k := 0; k < 3; k++ {
+			now := float64(i)*16 + float64(k)*16/3 + 1
+			off := 0.0
+			if k == 2 {
+				off = 5e-3
+			}
+			last = feedEnsemble(t, e, k, now, off)
+		}
+	}
+	if last.Falsetickers != 0 {
+		t.Errorf("Falsetickers = %d with selection disabled, want 0", last.Falsetickers)
+	}
+	for k, st := range e.ServerStates() {
+		if st.Falseticker {
+			t.Errorf("server %d flagged falseticker with selection disabled", k)
+		}
+		if st.Weight == 0 {
+			t.Errorf("server %d lost its vote with selection disabled", k)
+		}
 	}
 }
 

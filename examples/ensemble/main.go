@@ -7,9 +7,9 @@
 // goes wrong by 1.5 ms and stays wrong. A single-server clock pointed
 // at server 2 eventually swallows the error (its sanity envelope must
 // reopen, or real route changes would lock it out forever); the
-// ensemble's weighted-median agreement step never follows, because the
-// two healthy servers outvote the faulty one and its sanity events dent
-// its combining weight.
+// ensemble never follows, because the interval-intersection selection
+// stage classifies the faulty server a falseticker — zero vote — and
+// the weighted median runs over the two healthy servers that agree.
 package main
 
 import (
@@ -49,7 +49,7 @@ func main() {
 
 	fmt.Printf("three %s-class servers; server %d faulty (+1.5 ms) from %s\n\n",
 		servers[0].Name, faulty, timebase.FormatDuration(faultAt))
-	fmt.Printf("%-8s %-12s %-22s %-10s\n", "elapsed", "ens err", "weights", "agreement")
+	fmt.Printf("%-8s %-12s %-22s %-10s %s\n", "elapsed", "ens err", "weights", "agreement", "falsetickers")
 
 	next := timebase.Hour
 	var lastErr float64
@@ -61,9 +61,9 @@ func main() {
 		lastErr = ens.AbsoluteTime(e.Tf) - e.Tg
 		if e.TrueTf >= next {
 			ws := ens.Weights()
-			fmt.Printf("%-8s %-12s [%.2f %.2f %.2f]       %d/3\n",
+			fmt.Printf("%-8s %-12s [%.2f %.2f %.2f]       %d/3        %d\n",
 				timebase.FormatDuration(e.TrueTf), timebase.FormatDuration(lastErr),
-				ws[0], ws[1], ws[2], st.Agreement)
+				ws[0], ws[1], ws[2], st.Agreement, st.Falsetickers)
 			next *= 2
 		}
 	}

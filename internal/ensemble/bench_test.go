@@ -12,8 +12,10 @@ import (
 // core.SynthTrace workload as BenchmarkProcess and `cmd/experiments
 // -perf`) dealt round-robin to N servers. The per-packet cost must stay
 // at the single-engine budget (~420 ns, ~2.4M packets/s/core; PERF.md)
-// plus O(1) trust scoring, independent of N — the combination step runs
-// at read time, not per packet.
+// plus O(1) trust scoring and one O(N log N) selection sweep over the
+// per-server intervals — N is the server count (single digits), so the
+// sweep adds tens of nanoseconds. The median combination still runs at
+// read time, not per packet.
 func BenchmarkEnsemble(b *testing.B) {
 	const n = 1 << 20
 	ins := core.SynthTrace(n)
@@ -46,34 +48,80 @@ func BenchmarkEnsemble(b *testing.B) {
 	}
 }
 
-// BenchmarkEnsembleRead measures the read path: a combined absolute
-// time over N engines (weighted median, O(N log N) in the server count,
-// which is small by construction).
-func BenchmarkEnsembleRead(b *testing.B) {
-	for _, servers := range []int{3, 8} {
+// BenchmarkEnsembleSelect isolates the per-packet selection sweep: the
+// endpoint sort plus the Marzullo scan and classification over N ready
+// servers, on a calibrated ensemble. This is the only O(N log N) term
+// the selection stage adds to Process; it must stay in the tens of
+// nanoseconds at realistic N and allocate nothing.
+func BenchmarkEnsembleSelect(b *testing.B) {
+	for _, servers := range []int{3, 5, 8} {
 		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
-			cfgs := make([]core.Config, servers)
-			for i := range cfgs {
-				cfgs[i] = core.DefaultConfig(2e-9, 16)
-			}
-			e, err := New(Config{Engines: cfgs})
-			if err != nil {
-				b.Fatal(err)
-			}
-			ins := core.SynthTrace(4096)
-			for j, in := range ins {
-				if _, err := e.Process(j%servers, in); err != nil {
-					b.Fatal(err)
-				}
-			}
+			e := calibrated(b, servers)
+			ins := core.SynthTrace(64)
 			T := ins[len(ins)-1].Tf + 1000
-			var sink float64
 			b.ReportAllocs()
 			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.updateSelection(T + uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkEnsembleRead measures the read path — combined absolute
+// time, combined rate, and a full snapshot over N engines (weighted
+// median over the selected set, O(N log N) in the server count, which
+// is small by construction). Every variant must report 0 allocs/op:
+// the read path runs entirely on scratch buffers (TestReadPathZeroAlloc
+// pins the same contract as a hard test).
+func BenchmarkEnsembleRead(b *testing.B) {
+	for _, servers := range []int{3, 8} {
+		e := calibrated(b, servers)
+		T := uint64(1 << 40)
+		b.Run(fmt.Sprintf("AbsoluteTime/servers=%d", servers), func(b *testing.B) {
+			var sink float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sink += e.AbsoluteTime(T + uint64(i))
 			}
 			_ = sink
 		})
+		b.Run(fmt.Sprintf("RateHat/servers=%d", servers), func(b *testing.B) {
+			var sink float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += e.RateHat()
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("TakeSnapshot/servers=%d", servers), func(b *testing.B) {
+			var sink int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += e.TakeSnapshot(T + uint64(i)).Agreement
+			}
+			_ = sink
+		})
 	}
+}
+
+// calibrated returns an ensemble of n identical engines fed past warmup
+// with the synthetic workload, dealt round-robin.
+func calibrated(b *testing.B, n int) *Ensemble {
+	b.Helper()
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfgs[i] = core.DefaultConfig(2e-9, 16)
+	}
+	e, err := New(Config{Engines: cfgs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := core.SynthTrace(4096)
+	for j, in := range ins {
+		if _, err := e.Process(j%n, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
 }

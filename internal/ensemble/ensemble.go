@@ -5,10 +5,11 @@
 // upstream is still a single point of failure. Running one core engine
 // per server over a shared host counter makes the per-server absolute
 // clocks directly comparable (they all map the same counter value to a
-// time), and a weighted-median agreement step lets a faulty or shifted
-// server be outvoted rather than followed.
+// time), and an interval-intersection selection stage followed by a
+// weighted-median agreement step lets faulty — even mutually agreeing —
+// servers be outvoted rather than followed.
 //
-// Three layers:
+// Four layers:
 //
 //   - per-server engines: each upstream server feeds its own core.Sync,
 //     so per-server filtering state (r̂, point errors, windows) never
@@ -18,22 +19,48 @@
 //     the stability of the minimum-RTT floor (route flap), and decaying
 //     penalties for sanity triggers, poor-quality fallbacks, detected
 //     level shifts and server identity changes;
+//   - selection: each server asserts a correctness interval — its
+//     absolute clock ± a bound from its error scale — and a
+//     Marzullo/NTP-select sweep finds the maximal mutually-intersecting
+//     majority. Servers outside it are flagged falsetickers and must
+//     re-intersect for several consecutive exchanges before re-admission
+//     (hysteresis), so a lying server cannot flap in and out of the
+//     vote. The reference region is sticky: the selected set's own
+//     intersection keeps defining it while the set still holds a strict
+//     majority of the ready servers, so honest intervals that
+//     transiently balloon under congestion cannot hand a tight lying
+//     minority the vote;
 //   - combining: absolute time and rate are the weighted medians of the
-//     per-server estimates (breakdown point 1/2: servers holding less
-//     than half the total weight cannot move the result beyond the
-//     estimates of the others), with a Marzullo-style agreement count
-//     over per-server error intervals as the confidence signal.
+//     *selected* servers' estimates (breakdown point 1/2 within the
+//     selected set, count-based breakdown ⌈N/2⌉−1 from the selection
+//     stage), with a Marzullo-style agreement count over per-server
+//     error intervals as the confidence signal.
 //
-// The per-packet cost is one engine Process plus O(1) scoring; the
-// combination itself is evaluated at read time over the N per-server
-// estimates, so sharding across N servers preserves the single-engine
-// packet budget (see BenchmarkEnsemble).
+// Selection closes the gap the weighted median alone leaves open: the
+// median's breakdown is weight-based, so two colluding servers on clean
+// low-jitter paths can accumulate more than half the total weight and
+// drag the combined clock without ever being flagged. The intersection
+// sweep is count-based — a minority of servers, however trusted, whose
+// intervals do not intersect the majority's is excluded outright.
+//
+// The sweep also yields a first path-asymmetry diagnostic the
+// single-server engine cannot observe (paper §2.3): the signed
+// disagreement of each server's absolute clock against the selected
+// set's interval midpoint. A server that is systematically early or
+// late against the ensemble — while healthy by every single-path signal
+// — is exactly what an uncalibrated path asymmetry looks like.
+//
+// The per-packet cost is one engine Process, O(1) scoring, and one
+// O(N log N) selection sweep over the N per-server intervals (N is the
+// server count — single digits — so the sweep is tens of nanoseconds);
+// the combination itself is evaluated at read time over the per-server
+// estimates with zero allocations (see BenchmarkEnsemble).
 package ensemble
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -53,9 +80,21 @@ type Config struct {
 	// RTT-floor wobble trackers. Default: 1/8.
 	ErrAlpha float64
 
-	// AgreementFactor scales the per-server error intervals used by the
-	// Marzullo-style agreement count. Default: 4.
+	// AgreementFactor scales the per-server error intervals used by both
+	// the selection sweep and the Marzullo-style agreement count.
+	// Default: 4.
 	AgreementFactor float64
+
+	// ReadmitAfter is the number of consecutive selection sweeps a
+	// flagged falseticker must intersect the majority before being
+	// re-admitted to the selected set (hysteresis: one lucky overlap
+	// does not restore the vote). Default: 8.
+	ReadmitAfter int
+
+	// DisableSelection turns the interval-intersection stage off: the
+	// weighted median runs over every ready server, as the pre-selection
+	// combiner did. For ablation and experiments.
+	DisableSelection bool
 }
 
 func (c *Config) setDefaults() {
@@ -67,6 +106,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.AgreementFactor == 0 {
 		c.AgreementFactor = 4
+	}
+	if c.ReadmitAfter == 0 {
+		c.ReadmitAfter = 8
 	}
 }
 
@@ -86,6 +128,9 @@ func (c Config) Validate() error {
 	if c.AgreementFactor != 0 && !(c.AgreementFactor > 0) {
 		return fmt.Errorf("ensemble: AgreementFactor must be positive")
 	}
+	if c.ReadmitAfter < 0 {
+		return fmt.Errorf("ensemble: ReadmitAfter must be non-negative")
+	}
 	for i, ec := range c.Engines {
 		if err := ec.Validate(); err != nil {
 			return fmt.Errorf("ensemble: engine %d: %w", i, err)
@@ -94,7 +139,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// member is the per-server trust state.
+// member is the per-server trust and selection state.
 type member struct {
 	count     int
 	ready     bool    // past warmup: the engine's estimates are trusted
@@ -103,6 +148,10 @@ type member struct {
 	lastRHat  float64
 	rttWobble float64 // EWMA of |Δr̂| (minimum-RTT floor stability), s
 	penalty   float64 // decaying event penalty, s
+
+	selected bool    // in the selected (truechimer) set
+	streak   int     // consecutive sweeps intersecting the majority
+	asym     float64 // signed clock error vs the selected-set midpoint, s
 }
 
 // observe folds one engine result into the trust state.
@@ -132,22 +181,60 @@ func (m *member) observe(cfg *Config, ec *core.Config, res core.Result) {
 	if res.UpwardShiftDetected {
 		m.penalty += ec.ShiftThresholdFactor * ec.E()
 	}
+	if !m.ready && !res.Warmup {
+		// Graduation: enter the selected set on trust — the very next
+		// sweep evicts the server if its interval misses the majority.
+		m.selected = true
+		m.streak = 0
+	}
 	m.ready = !res.Warmup
 }
 
 // errScale is the server's current error scale in seconds: the basis of
-// both the combining weight (∝ 1/errScale²) and the agreement interval.
+// the combining weight (∝ 1/errScale²) and the agreement interval.
 func (m *member) errScale() float64 {
 	return m.delta + m.ewmaErr + m.rttWobble + m.penalty
+}
+
+// noiseScale is the error scale without the event penalty: the width of
+// the server's correctness claim in the selection sweep. Penalties
+// measure distrust, not measurement uncertainty — folding them into the
+// interval would let a misbehaving server widen its own claim exactly
+// when it should be easiest to convict (its sanity events would balloon
+// the interval until it overlaps any majority).
+func (m *member) noiseScale() float64 {
+	return m.delta + m.ewmaErr + m.rttWobble
+}
+
+// endpoint is one interval edge in the selection sweep.
+type endpoint struct {
+	x float64
+	d int8 // +1 interval start, −1 interval end
 }
 
 // Ensemble runs one synchronization engine per upstream server over a
 // shared host counter and combines their clocks. It is not safe for
 // concurrent use; the public tscclock.Ensemble wrapper adds locking.
+// Read results that are slices (Snapshot fields) are backed by internal
+// scratch buffers reused across calls — copy them to retain them past
+// the next call.
 type Ensemble struct {
 	cfg     Config
 	engines []*core.Sync
 	members []member
+
+	// Scratch buffers for the zero-allocation read and sweep paths (the
+	// type is single-threaded by contract, so one set suffices).
+	vals   []float64  // per-server absolute times
+	rates  []float64  // per-server rates
+	ws     []float64  // per-server weights
+	items  []wv       // weighted-median sort scratch
+	eps    []endpoint // selection sweep endpoints
+	lo     []float64  // per-server interval lower bounds
+	hi     []float64  // per-server interval upper bounds
+	widths []float64  // interval-width sort scratch (sweep voter filter)
+	sel    []bool     // Snapshot.Selected backing
+	hint   []float64  // Snapshot.AsymmetryHint backing
 }
 
 // New constructs an ensemble from one engine configuration per server.
@@ -156,10 +243,21 @@ func New(cfg Config) (*Ensemble, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	n := len(cfg.Engines)
 	e := &Ensemble{
 		cfg:     cfg,
-		engines: make([]*core.Sync, len(cfg.Engines)),
-		members: make([]member, len(cfg.Engines)),
+		engines: make([]*core.Sync, n),
+		members: make([]member, n),
+		vals:    make([]float64, n),
+		rates:   make([]float64, n),
+		ws:      make([]float64, n),
+		items:   make([]wv, 0, n),
+		eps:     make([]endpoint, 0, 2*n),
+		lo:      make([]float64, n),
+		hi:      make([]float64, n),
+		widths:  make([]float64, 0, n),
+		sel:     make([]bool, n),
+		hint:    make([]float64, n),
 	}
 	for i, ec := range cfg.Engines {
 		s, err := core.NewSync(ec)
@@ -179,7 +277,8 @@ func (e *Ensemble) Size() int { return len(e.engines) }
 func (e *Ensemble) Engine(k int) *core.Sync { return e.engines[k] }
 
 // Process feeds one completed exchange with server k to that server's
-// engine and updates the server's trust state. Exchanges must arrive in
+// engine, updates the server's trust state, and runs one selection
+// sweep at the exchange's receive stamp. Exchanges must arrive in
 // order per server; cross-server ordering is unconstrained.
 func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 	if server < 0 || server >= len(e.engines) {
@@ -190,6 +289,7 @@ func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 		return res, err
 	}
 	e.members[server].observe(&e.cfg, &e.cfg.Engines[server], res)
+	e.updateSelection(in.Tf)
 	return res, nil
 }
 
@@ -209,22 +309,259 @@ func (e *Ensemble) ObserveIdentity(server int, id core.Identity) (bool, error) {
 	return changed, nil
 }
 
-// rawWeights returns the current combining weights (unnormalized).
-// Servers still in warmup weigh zero; if no server has graduated yet,
-// every server with at least one exchange weighs equally, so the
-// combined clock is defined from the first packet (matching the
-// single-clock behaviour of reading during warmup).
-func (e *Ensemble) rawWeights() []float64 {
-	ws := make([]float64, len(e.members))
-	any := false
+// updateSelection runs one Marzullo/NTP-select sweep at counter value T:
+// every ready server asserts the correctness interval
+// [Ca_k(T) − bound_k, Ca_k(T) + bound_k] with bound_k =
+// AgreementFactor·noiseScale_k, a sweep finds the majority region, and
+// each server is classified by whether its interval reaches it.
+// Falsetickers re-enter only after ReadmitAfter consecutive
+// intersecting sweeps.
+//
+// The region is *sticky*: while the currently selected set's intervals
+// still mutually intersect in a region backed by a strict majority of
+// the ready servers, that incumbent region is the reference, and
+// flagged servers only rebuild their re-admission streaks against it.
+// Only when the incumbent set fractures does the full Marzullo sweep
+// over every ready server decide afresh. Without stickiness, an honest
+// server whose interval transiently balloons (a congestion episode
+// inflates its noise scale) intersects everything — and two such wide
+// intervals can hand a tight-but-lying minority a spurious maximal
+// overlap, evicting the remaining honest servers. A ballooned interval
+// widens a claim; it should not move the vote.
+func (e *Ensemble) updateSelection(T uint64) {
+	if e.cfg.DisableSelection {
+		return
+	}
+	nReady := 0
 	for k := range e.members {
-		if m := &e.members[k]; m.ready {
-			es := m.errScale()
-			ws[k] = 1 / (es * es)
-			any = true
+		if e.members[k].ready {
+			nReady++
 		}
 	}
-	if !any {
+	if nReady == 0 {
+		return
+	}
+	if nReady == 1 {
+		// A lone calibrated server cannot be outvoted; it is the
+		// selected set, and the midpoint is its own clock.
+		for k := range e.members {
+			if m := &e.members[k]; m.ready {
+				m.selected = true
+				m.asym = 0
+			}
+		}
+		return
+	}
+
+	// Correctness intervals of every ready server.
+	for k := range e.members {
+		m := &e.members[k]
+		if !m.ready {
+			continue
+		}
+		c := e.engines[k].AbsoluteTime(T)
+		bound := e.cfg.AgreementFactor * m.noiseScale()
+		e.lo[k] = c - bound
+		e.hi[k] = c + bound
+	}
+
+	// Pass 1: the incumbent region. Pass 2, on fracture: the full sweep.
+	bestLo, bestHi, ok := e.sweepRegion(nReady, true)
+	if !ok {
+		bestLo, bestHi, ok = e.sweepRegion(nReady, false)
+	}
+	if !ok {
+		// No strict majority intersects: there is no evidence to
+		// convict anyone, so the classification stands (NTP's select
+		// likewise reports no survivors rather than guessing).
+		return
+	}
+
+	// Classification is asymmetric, and deliberately so.
+	//
+	// Eviction is interval-based and immediate: a selected server stays
+	// only while its correctness interval still reaches the region, so
+	// an honest server whose interval widens under congestion keeps its
+	// seat (a wide claim still covers the truth it asserts).
+	for k := range e.members {
+		m := &e.members[k]
+		if !m.ready || !m.selected {
+			continue
+		}
+		if e.lo[k] <= bestHi && e.hi[k] >= bestLo {
+			m.streak++
+		} else {
+			m.streak = 0
+			m.selected = false
+		}
+	}
+
+	// The survivors' cluster: the intersection of the still-selected
+	// intervals — the tightest range every truechimer agrees contains
+	// the truth (the sweep region stands in after a mass eviction).
+	iLo, iHi := e.selectedIntersection(bestLo, bestHi)
+
+	// Re-admission is midpoint-based and slow: a flagged server builds
+	// its streak only while its clock midpoint lies inside the
+	// survivors' cluster, and returns after ReadmitAfter consecutive
+	// such sweeps. Mere interval overlap is not evidence here — a lying
+	// server whose own noise scale balloons during a congestion episode
+	// can widen its claim until it touches any majority, but it cannot
+	// move its clock into the cluster without actually agreeing.
+	for k := range e.members {
+		m := &e.members[k]
+		if !m.ready || m.selected {
+			continue
+		}
+		if mid := (e.lo[k] + e.hi[k]) / 2; iLo <= mid && mid <= iHi {
+			m.streak++
+			if m.streak >= e.cfg.ReadmitAfter {
+				m.selected = true
+			}
+		} else {
+			m.streak = 0
+		}
+	}
+
+	// Selected-set midpoint: the center of the survivors' cluster
+	// (recomputed so re-admissions count), the ensemble's best single
+	// point of truth. Each ready server's signed disagreement against
+	// it is the asymmetry hint: a persistent bias here, on a server
+	// healthy by every single-path signal, is what an uncalibrated path
+	// asymmetry error looks like from the outside (paper §2.3).
+	iLo, iHi = e.selectedIntersection(bestLo, bestHi)
+	mid := (iLo + iHi) / 2
+	for k := range e.members {
+		if m := &e.members[k]; m.ready {
+			m.asym = (e.lo[k]+e.hi[k])/2 - mid
+		}
+	}
+}
+
+// selectedIntersection returns the intersection of the ready selected
+// servers' intervals, falling back to the given sweep region when no
+// selected interval remains or the intersection is empty.
+func (e *Ensemble) selectedIntersection(regionLo, regionHi float64) (float64, float64) {
+	iLo, iHi := math.Inf(-1), math.Inf(1)
+	any := false
+	for k := range e.members {
+		if m := &e.members[k]; m.ready && m.selected {
+			any = true
+			iLo = math.Max(iLo, e.lo[k])
+			iHi = math.Min(iHi, e.hi[k])
+		}
+	}
+	if !any || iLo > iHi {
+		return regionLo, regionHi
+	}
+	return iLo, iHi
+}
+
+// uninformativeWidthFactor disqualifies ballooned intervals from voting
+// in the fresh (fallback) sweep: an interval wider than this multiple
+// of the median ready interval width spans every camp at the decision
+// scale, so counting it only inflates overlap everywhere — including
+// around a tight lying minority. Such a server is still classified
+// against the region; it just cannot help pick it.
+const uninformativeWidthFactor = 4
+
+// sweepRegion runs the Marzullo endpoint sweep over the ready servers'
+// intervals (e.lo/e.hi) — restricted to the currently selected set when
+// selectedOnly — and returns the maximal-overlap region. ok requires
+// that maximal overlap to be a strict majority of ALL nReady ready
+// servers, so the selected set defines the region only while it can
+// still muster that majority by itself. The fresh sweep (selectedOnly
+// false) additionally excludes uninformative ballooned intervals from
+// voting.
+func (e *Ensemble) sweepRegion(nReady int, selectedOnly bool) (lo, hi float64, ok bool) {
+	widthCap := math.Inf(1)
+	if !selectedOnly {
+		e.widths = e.widths[:0]
+		for k := range e.members {
+			if e.members[k].ready {
+				e.widths = append(e.widths, e.hi[k]-e.lo[k])
+			}
+		}
+		slices.Sort(e.widths)
+		widthCap = uninformativeWidthFactor * e.widths[len(e.widths)/2]
+	}
+
+	// Interval endpoints, starts before ends at equal positions so
+	// touching intervals count as intersecting.
+	e.eps = e.eps[:0]
+	for k := range e.members {
+		m := &e.members[k]
+		if !m.ready || (selectedOnly && !m.selected) {
+			continue
+		}
+		if e.hi[k]-e.lo[k] > widthCap {
+			continue
+		}
+		e.eps = append(e.eps, endpoint{x: e.lo[k], d: 1}, endpoint{x: e.hi[k], d: -1})
+	}
+	slices.SortFunc(e.eps, func(a, b endpoint) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		default:
+			return int(b.d) - int(a.d)
+		}
+	})
+
+	// A new maximum can only appear at a start, and a start is never the
+	// last endpoint, so eps[i+1] is always valid there.
+	cnt, best := 0, 0
+	for i := range e.eps {
+		if e.eps[i].d > 0 {
+			cnt++
+			if cnt > best {
+				best = cnt
+				lo = e.eps[i].x
+				hi = e.eps[i+1].x
+			}
+		} else {
+			cnt--
+		}
+	}
+	return lo, hi, best > nReady/2
+}
+
+// rawWeights fills the scratch weight buffer with the current combining
+// weights (unnormalized) and returns it. Servers still in warmup weigh
+// zero, and so do flagged falsetickers while selection is enabled; if
+// every ready server is excluded (a transient, e.g. all in readmission
+// probation) the ready servers vote as if selection were off, and if no
+// server has graduated yet, every server with at least one exchange
+// weighs equally, so the combined clock is defined from the first
+// packet (matching the single-clock behaviour of reading during
+// warmup).
+func (e *Ensemble) rawWeights() []float64 {
+	ws := e.ws
+	anyReady, anySelected := false, false
+	for k := range e.members {
+		ws[k] = 0
+		m := &e.members[k]
+		if !m.ready {
+			continue
+		}
+		anyReady = true
+		if e.cfg.DisableSelection || m.selected {
+			es := m.errScale()
+			ws[k] = 1 / (es * es)
+			anySelected = true
+		}
+	}
+	switch {
+	case anyReady && !anySelected:
+		for k := range e.members {
+			if m := &e.members[k]; m.ready {
+				es := m.errScale()
+				ws[k] = 1 / (es * es)
+			}
+		}
+	case !anyReady:
 		for k := range e.members {
 			if e.members[k].count > 0 {
 				ws[k] = 1
@@ -235,9 +572,17 @@ func (e *Ensemble) rawWeights() []float64 {
 }
 
 // Weights returns the current per-server combining weights, normalized
-// to sum to 1 (all zeros before any exchange).
+// to sum to 1 (all zeros before any exchange). The returned slice is
+// freshly allocated.
 func (e *Ensemble) Weights() []float64 {
-	ws := e.rawWeights()
+	ws := make([]float64, len(e.members))
+	copy(ws, e.rawWeights())
+	normalize(ws)
+	return ws
+}
+
+// normalize scales ws to sum to 1 in place (no-op when the sum is 0).
+func normalize(ws []float64) {
 	total := 0.0
 	for _, w := range ws {
 		total += w
@@ -247,10 +592,10 @@ func (e *Ensemble) Weights() []float64 {
 			ws[k] /= total
 		}
 	}
-	return ws
 }
 
-// ServerState is the diagnostic view of one server's trust state.
+// ServerState is the diagnostic view of one server's trust and
+// selection state.
 type ServerState struct {
 	Exchanges     int     // exchanges processed
 	Ready         bool    // past warmup
@@ -259,6 +604,18 @@ type ServerState struct {
 	PointErrLevel float64 // EWMA of the point error (s)
 	RTTWobble     float64 // EWMA of |Δr̂| (s)
 	Penalty       float64 // current decaying event penalty (s)
+
+	// Selected reports membership in the selected (truechimer) set;
+	// Falseticker is a ready server currently voted out by the
+	// interval-intersection stage. IntersectStreak counts consecutive
+	// sweeps intersecting the majority (a flagged server re-enters at
+	// ReadmitAfter). AsymmetryHint is the signed disagreement of this
+	// server's absolute clock against the selected-set midpoint (s) —
+	// an estimate of path-asymmetry error no single path can observe.
+	Selected        bool
+	Falseticker     bool
+	IntersectStreak int
+	AsymmetryHint   float64
 }
 
 // ServerStates returns the diagnostic view of every server.
@@ -268,38 +625,41 @@ func (e *Ensemble) ServerStates() []ServerState {
 	for k := range e.members {
 		m := &e.members[k]
 		out[k] = ServerState{
-			Exchanges:     m.count,
-			Ready:         m.ready,
-			Weight:        ws[k],
-			ErrScale:      m.errScale(),
-			PointErrLevel: m.ewmaErr,
-			RTTWobble:     m.rttWobble,
-			Penalty:       m.penalty,
+			Exchanges:       m.count,
+			Ready:           m.ready,
+			Weight:          ws[k],
+			ErrScale:        m.errScale(),
+			PointErrLevel:   m.ewmaErr,
+			RTTWobble:       m.rttWobble,
+			Penalty:         m.penalty,
+			Selected:        m.ready && m.selected,
+			Falseticker:     m.ready && !m.selected && !e.cfg.DisableSelection,
+			IntersectStreak: m.streak,
+			AsymmetryHint:   m.asym,
 		}
 	}
 	return out
 }
 
 // AbsoluteTime reads the combined absolute clock at a counter value:
-// the weighted median of the per-server absolute clocks. With three or
-// more comparable servers, one faulty server is outvoted — the median
-// lands on (or between) the agreeing servers' readings.
+// the weighted median of the selected servers' absolute clocks. With
+// three or more comparable servers, a faulty minority — even one whose
+// members agree with each other — is excluded by the selection stage
+// and outvoted by the median.
 func (e *Ensemble) AbsoluteTime(T uint64) float64 {
-	vals := make([]float64, len(e.engines))
 	for k, s := range e.engines {
-		vals[k] = s.AbsoluteTime(T)
+		e.vals[k] = s.AbsoluteTime(T)
 	}
-	return weightedMedian(vals, e.rawWeights())
+	return weightedMedianBuf(e.vals, e.rawWeights(), e.items)
 }
 
 // RateHat returns the combined rate estimate (seconds per counter
-// cycle): the weighted median of the per-server p̂.
+// cycle): the weighted median of the selected servers' p̂.
 func (e *Ensemble) RateHat() float64 {
-	vals := make([]float64, len(e.engines))
 	for k, s := range e.engines {
-		vals[k], _ = s.Clock()
+		e.rates[k], _ = s.Clock()
 	}
-	return weightedMedian(vals, e.rawWeights())
+	return weightedMedianBuf(e.rates, e.rawWeights(), e.items)
 }
 
 // DifferenceSpan measures the interval between two counter readings
@@ -325,35 +685,54 @@ func (e *Ensemble) Agreement(T uint64) int {
 // Snapshot is the combined state at one counter value, computed with a
 // single weight evaluation (the per-exchange status path uses it so
 // the combiner runs once per exchange, not once per reported field).
+// The slice fields are backed by scratch buffers owned by the ensemble
+// and are overwritten by the next call — copy them to retain them.
 type Snapshot struct {
 	Weights      []float64 // normalized per-server combining weights
 	Rate         float64   // combined rate estimate (s/cycle)
 	AbsoluteTime float64   // combined absolute clock at T (s)
 	Agreement    int       // servers whose interval contains AbsoluteTime
+
+	// Selected marks the truechimer set: ready servers whose
+	// correctness intervals intersect the majority. Falsetickers counts
+	// ready servers currently voted out. AsymmetryHint is each server's
+	// signed absolute-clock disagreement against the selected-set
+	// midpoint (s), a per-path asymmetry-error estimate; zero for
+	// servers still in warmup.
+	Selected      []bool
+	Falsetickers  int
+	AsymmetryHint []float64
 }
 
 // TakeSnapshot evaluates the combiner once at counter value T. The
 // normalized weights serve the medians directly — weightedMedian is
 // invariant under uniform weight scaling.
 func (e *Ensemble) TakeSnapshot(T uint64) Snapshot {
-	ws := e.Weights()
-	abs := make([]float64, len(e.engines))
-	rates := make([]float64, len(e.engines))
+	ws := e.rawWeights()
+	normalize(ws)
 	for k, s := range e.engines {
-		abs[k] = s.AbsoluteTime(T)
-		rates[k], _ = s.Clock()
+		e.vals[k] = s.AbsoluteTime(T)
+		e.rates[k], _ = s.Clock()
 	}
 	snap := Snapshot{
-		Weights:      ws,
-		Rate:         weightedMedian(rates, ws),
-		AbsoluteTime: weightedMedian(abs, ws),
+		Weights:       ws,
+		Rate:          weightedMedianBuf(e.rates, ws, e.items),
+		AbsoluteTime:  weightedMedianBuf(e.vals, ws, e.items),
+		Selected:      e.sel,
+		AsymmetryHint: e.hint,
 	}
 	for k := range e.members {
-		if e.members[k].count == 0 {
+		m := &e.members[k]
+		e.sel[k] = m.ready && m.selected
+		e.hint[k] = m.asym
+		if m.ready && !m.selected && !e.cfg.DisableSelection {
+			snap.Falsetickers++
+		}
+		if m.count == 0 {
 			continue
 		}
-		bound := e.cfg.AgreementFactor * e.members[k].errScale()
-		if math.Abs(abs[k]-snap.AbsoluteTime) <= bound {
+		bound := e.cfg.AgreementFactor * m.errScale()
+		if math.Abs(e.vals[k]-snap.AbsoluteTime) <= bound {
 			snap.Agreement++
 		}
 	}
@@ -370,14 +749,26 @@ func (e *Ensemble) Exchanges() int {
 	return n
 }
 
-// weightedMedian returns the smallest value v in vals such that the
-// summed weight of values ≤ v reaches half the total weight — the
-// classic robust combiner with breakdown point 1/2. Zero-weight entries
-// are ignored; with no positive weight the first value is returned (the
+// wv is one (value, weight) pair of the weighted-median scratch.
+type wv struct{ v, w float64 }
+
+// weightedMedian returns the weighted median of vals: the value at
+// which the cumulative weight reaches half the total. When the boundary
+// is hit exactly — as with two equally weighted servers — the two
+// straddling values are averaged, so the combined clock lands between
+// them instead of on whichever reads earlier. Zero-weight entries are
+// ignored; with no positive weight the first value is returned (the
 // caller's fallback guarantees this only happens before any exchange).
+// The breakdown point is 1/2: entries holding less than half the total
+// weight cannot move the result beyond the others' values.
 func weightedMedian(vals, ws []float64) float64 {
-	type wv struct{ v, w float64 }
-	items := make([]wv, 0, len(vals))
+	return weightedMedianBuf(vals, ws, nil)
+}
+
+// weightedMedianBuf is weightedMedian with a caller-provided scratch
+// buffer (content ignored, capacity reused) for allocation-free reads.
+func weightedMedianBuf(vals, ws []float64, buf []wv) float64 {
+	items := buf[:0]
 	total := 0.0
 	for k := range vals {
 		if ws[k] > 0 {
@@ -391,12 +782,29 @@ func weightedMedian(vals, ws []float64) float64 {
 		}
 		return vals[0]
 	}
-	sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+	slices.SortFunc(items, func(a, b wv) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	half := total / 2
 	acc := 0.0
-	for _, it := range items {
-		acc += it.w
-		if acc >= total/2 {
-			return it.v
+	for i := range items {
+		acc += items[i].w
+		if acc == half {
+			// Exactly at the half-weight boundary: the median lies
+			// between this value and the next positive-weight one.
+			// i+1 is in range — acc == total/2 < total means weight
+			// remains, and every retained item has positive weight.
+			return (items[i].v + items[i+1].v) / 2
+		}
+		if acc > half {
+			return items[i].v
 		}
 	}
 	return items[len(items)-1].v

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 func TestWeightedMedian(t *testing.T) {
@@ -21,7 +22,9 @@ func TestWeightedMedian(t *testing.T) {
 		{"weight-dominates", []float64{1, 2, 3}, []float64{10, 1, 1}, 1},
 		{"zero-weights-skipped", []float64{5, 7, 9}, []float64{0, 1, 0}, 7},
 		{"all-zero-falls-back", []float64{5, 7}, []float64{0, 0}, 5},
-		{"even-lower-median", []float64{1, 2, 3, 4}, []float64{1, 1, 1, 1}, 2},
+		{"even-interpolates", []float64{1, 2, 3, 4}, []float64{1, 1, 1, 1}, 2.5},
+		{"two-servers-split", []float64{5, 7}, []float64{1, 1}, 6},
+		{"boundary-hit-interpolates", []float64{1, 2, 4}, []float64{1, 1, 2}, 3},
 		{"empty", nil, nil, 0},
 	}
 	for _, c := range cases {
@@ -232,4 +235,375 @@ func TestExchangesCount(t *testing.T) {
 	if got := e.Exchanges(); got != 3 {
 		t.Errorf("Exchanges = %d, want 3", got)
 	}
+}
+
+// --- weighted median properties ---
+
+// TestWeightedMedianProperties checks the combiner's contract over
+// random inputs: two equally weighted servers average (symmetry), the
+// result is invariant under uniform weight scaling, and the breakdown
+// point 1/2 is preserved — a coalition holding strictly less than half
+// the total weight cannot push the median outside the range of the
+// remaining values.
+func TestWeightedMedianProperties(t *testing.T) {
+	src := rng.New(42)
+
+	for trial := 0; trial < 200; trial++ {
+		a, b := src.Float64()*1e3-500, src.Float64()*1e3-500
+		w := src.Float64() + 0.1
+		got := weightedMedian([]float64{a, b}, []float64{w, w})
+		if want := (a + b) / 2; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("2-server symmetry: median(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + int(src.Uint64()%7)
+		vals := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.Float64()*2e3 - 1e3
+			ws[i] = src.Float64() + 0.05
+		}
+		base := weightedMedian(vals, ws)
+		// Powers of two keep the scaled weights exactly representable,
+		// so the exact-boundary branch fires identically.
+		for _, scale := range []float64{0.25, 2, 1024} {
+			scaled := make([]float64, n)
+			for i := range ws {
+				scaled[i] = ws[i] * scale
+			}
+			if got := weightedMedian(vals, scaled); got != base {
+				t.Fatalf("scale invariance: ×%v changed median %v → %v (vals %v ws %v)",
+					scale, base, got, vals, ws)
+			}
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		nGood := 2 + int(src.Uint64()%5)
+		nBad := 1 + int(src.Uint64()%4)
+		vals := make([]float64, 0, nGood+nBad)
+		ws := make([]float64, 0, nGood+nBad)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		goodW := 0.0
+		for i := 0; i < nGood; i++ {
+			v := src.Float64()*100 - 50
+			w := src.Float64() + 0.1
+			vals, ws = append(vals, v), append(ws, w)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			goodW += w
+		}
+		// The adversarial coalition agrees on an extreme value and holds
+		// strictly less than half the total weight.
+		badEach := goodW * 0.99 / float64(nBad)
+		badVal := 1e9
+		if src.Bool(0.5) {
+			badVal = -1e9
+		}
+		for i := 0; i < nBad; i++ {
+			vals, ws = append(vals, badVal), append(ws, badEach)
+		}
+		got := weightedMedian(vals, ws)
+		if got < lo || got > hi {
+			t.Fatalf("breakdown: minority coalition at %v dragged median to %v outside [%v,%v]",
+				badVal, got, lo, hi)
+		}
+	}
+}
+
+// --- selection ---
+
+// TestColludingMinorityRejected is the selection stage's reason to
+// exist: two of five servers agree with each other on a wrong clock.
+// The weighted median alone could follow them if their paths earned
+// them enough weight; interval intersection excludes them on count —
+// the majority's intervals agree, theirs don't reach it.
+func TestColludingMinorityRejected(t *testing.T) {
+	const fault = 5e-3
+	e := mustEnsemble(t, 5)
+	bad := func(k int) bool { return k >= 3 }
+	last := run(t, e, 100, func(k, _ int) float64 {
+		if bad(k) {
+			return fault
+		}
+		return 0
+	})
+
+	T := uint64((last + 1) / synthP)
+	truth := last + 1
+	if err := e.AbsoluteTime(T) - truth; math.Abs(err) > 100e-6 {
+		t.Errorf("combined clock error %v despite colluding pair at %v", err, fault)
+	}
+	snap := e.TakeSnapshot(T)
+	if snap.Falsetickers != 2 {
+		t.Errorf("Falsetickers = %d, want 2", snap.Falsetickers)
+	}
+	for k := 0; k < 5; k++ {
+		if snap.Selected[k] == bad(k) {
+			t.Errorf("Selected[%d] = %v, want %v", k, snap.Selected[k], !bad(k))
+		}
+		// The asymmetry hint localizes the disagreement: colluders sit
+		// ~fault from the selected-set midpoint, truechimers near it.
+		if bad(k) && math.Abs(snap.AsymmetryHint[k]-fault) > fault/2 {
+			t.Errorf("AsymmetryHint[%d] = %v, want ≈ %v", k, snap.AsymmetryHint[k], fault)
+		}
+		if !bad(k) && math.Abs(snap.AsymmetryHint[k]) > fault/10 {
+			t.Errorf("AsymmetryHint[%d] = %v, want ≈ 0", k, snap.AsymmetryHint[k])
+		}
+	}
+	states := e.ServerStates()
+	for k := range states {
+		if states[k].Selected != snap.Selected[k] || states[k].Falseticker != !snap.Selected[k] {
+			t.Errorf("ServerStates[%d] selection view %+v disagrees with snapshot", k, states[k])
+		}
+		if bad(k) && states[k].Weight != 0 {
+			t.Errorf("falseticker %d holds weight %v", k, states[k].Weight)
+		}
+	}
+}
+
+// TestSelectionDisabledFollowsWeight: with DisableSelection the
+// combiner reverts to the pure weighted median, so a colluding pair
+// holding the weight majority drags the clock — the vulnerability the
+// selection stage closes. The pair's weight dominance is forced through
+// per-server Delta (the errScale floor), standing in for the clean
+// low-jitter paths that earn real colluders their trust.
+func TestSelectionDisabledFollowsWeight(t *testing.T) {
+	const fault = 5e-3
+	build := func(disable bool) *Ensemble {
+		t.Helper()
+		cfgs := make([]core.Config, 5)
+		for i := range cfgs {
+			cfgs[i] = core.DefaultConfig(synthP, 16)
+			if i >= 3 {
+				cfgs[i].Delta = 5e-6 // colluders: tight error scale, big weight
+			} else {
+				cfgs[i].Delta = 100e-6 // honest majority: noisy paths
+			}
+		}
+		e, err := New(Config{Engines: cfgs, DisableSelection: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	faultOf := func(k, _ int) float64 {
+		if k >= 3 {
+			return fault
+		}
+		return 0
+	}
+
+	median := build(true)
+	last := run(t, median, 100, faultOf)
+	truth := last + 1
+	T := uint64(truth / synthP)
+	if err := median.AbsoluteTime(T) - truth; math.Abs(err) < fault/2 {
+		t.Errorf("median-only error %v; expected the high-weight colluders to drag it ≈ %v", err, fault)
+	}
+
+	selecting := build(false)
+	run(t, selecting, 100, faultOf)
+	if err := selecting.AbsoluteTime(T) - truth; math.Abs(err) > 100e-6 {
+		t.Errorf("selection-enabled error %v; the colluders' weight should not matter", err)
+	}
+}
+
+// TestFalsetickerReadmissionHysteresis: a server that went wrong and
+// healed re-enters the selected set only after ReadmitAfter consecutive
+// intersecting sweeps — it must be observed on probation (intersecting
+// but still excluded) before re-admission.
+func TestFalsetickerReadmissionHysteresis(t *testing.T) {
+	const readmit = 30
+	cfgs := make([]core.Config, 3)
+	for i := range cfgs {
+		cfgs[i] = core.DefaultConfig(synthP, 16)
+	}
+	e, err := New(Config{Engines: cfgs, ReadmitAfter: readmit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now, probation, flagged := 0.0, 0, false
+	for i := 0; i < 300; i++ {
+		off := 0.0
+		if i >= 60 && i < 90 {
+			off = 1e-3 // server 2 goes wrong for 30 rounds, then heals
+		}
+		for k := 0; k < 3; k++ {
+			now = float64(i)*16 + float64(k)*16/3 + 1
+			o := 0.0
+			if k == 2 {
+				o = off
+			}
+			feed(t, e, k, now, o)
+		}
+		st := e.ServerStates()[2]
+		if i >= 60 && !st.Selected {
+			flagged = true
+		}
+		if flagged && !st.Selected && st.IntersectStreak > 0 {
+			probation++
+		}
+	}
+	if !flagged {
+		t.Fatal("faulty server was never deselected — harness lost its teeth")
+	}
+	st := e.ServerStates()[2]
+	if !st.Selected {
+		t.Errorf("healed server not re-admitted by round 300: %+v", st)
+	}
+	// Three sweeps happen per round, so a streak of ReadmitAfter
+	// intersections spans ≥ ReadmitAfter/3 rounds of visible probation
+	// (intersecting again, still excluded).
+	if probation < readmit/3 {
+		t.Errorf("observed only %d probation states, want ≥ %d (hysteresis bypassed)", probation, readmit/3)
+	}
+}
+
+// feedCongested is feed with the round trip inflated by extra queueing
+// delay, split symmetrically around the server stamps so the server's
+// apparent offset is unchanged: the server's point errors — and so its
+// noise scale and correctness-interval width — balloon, but its clock
+// does not move.
+func feedCongested(t *testing.T, e *Ensemble, k int, now, off, extra float64) core.Result {
+	t.Helper()
+	rtt := 400e-6 + extra
+	in := core.Input{
+		Ta: uint64(now / synthP),
+		Tf: uint64((now + rtt) / synthP),
+		Tb: now + rtt/2 + off,
+		Te: now + rtt/2 + 20e-6 + off,
+	}
+	res, err := e.Process(k, in)
+	if err != nil {
+		t.Fatalf("server %d at %v: %v", k, now, err)
+	}
+	return res
+}
+
+// TestBalloonedColluderStaysOut: a flagged falseticker cannot ride a
+// congestion episode back into the vote. When its path noise balloons,
+// its correctness interval widens far past the lie and *overlaps* the
+// honest region — but re-admission requires its clock midpoint inside
+// the survivors' cluster, and the midpoint still carries the lie. The
+// flip side: an honest selected server whose interval balloons the same
+// way keeps its seat, because eviction is interval-based and its wide
+// claim still covers the truth.
+func TestBalloonedColluderStaysOut(t *testing.T) {
+	const fault = 5e-3
+	e := mustEnsemble(t, 5)
+	bad := func(k int) bool { return k >= 3 }
+	run(t, e, 60, func(k, _ int) float64 {
+		if bad(k) {
+			return fault
+		}
+		return 0
+	})
+	for k, st := range e.ServerStates() {
+		if st.Selected == bad(k) {
+			t.Fatalf("setup: ServerStates[%d].Selected = %v", k, st.Selected)
+		}
+	}
+
+	// A long congestion episode on the colluders' paths: +20 ms of
+	// symmetric queueing widens their interval bounds to ~100× the lie,
+	// for far longer than the re-admission hysteresis.
+	for i := 60; i < 120; i++ {
+		for k := 0; k < 5; k++ {
+			now := float64(i)*16 + float64(k)*16/5 + 1
+			if bad(k) {
+				feedCongested(t, e, k, now, fault, 20e-3)
+			} else {
+				feed(t, e, k, now, 0)
+			}
+		}
+		for k, st := range e.ServerStates() {
+			if bad(k) && st.Selected {
+				t.Fatalf("round %d: ballooned colluder %d re-admitted", i, k)
+			}
+			if !bad(k) && !st.Selected {
+				t.Fatalf("round %d: honest server %d lost its seat", i, k)
+			}
+		}
+	}
+
+	// Now the episode hits an honest server instead: wide but truthful,
+	// it must keep its seat throughout.
+	for i := 120; i < 180; i++ {
+		for k := 0; k < 5; k++ {
+			now := float64(i)*16 + float64(k)*16/5 + 1
+			switch {
+			case k == 0:
+				feedCongested(t, e, k, now, 0, 20e-3)
+			case bad(k):
+				feed(t, e, k, now, fault)
+			default:
+				feed(t, e, k, now, 0)
+			}
+		}
+		if st := e.ServerStates()[0]; !st.Selected {
+			t.Fatalf("round %d: wide honest server evicted", i)
+		}
+	}
+}
+
+// TestNoQuorumKeepsClassification: with two calibrated servers that
+// disagree there is no majority to convict either, so neither is
+// flagged and both keep voting (the combiner then averages them — the
+// safest answer available).
+func TestNoQuorumKeepsClassification(t *testing.T) {
+	e := mustEnsemble(t, 2)
+	last := run(t, e, 80, func(k, _ int) float64 {
+		if k == 1 {
+			return 5e-3
+		}
+		return 0
+	})
+	snap := e.TakeSnapshot(uint64((last + 1) / synthP))
+	if snap.Falsetickers != 0 {
+		t.Errorf("Falsetickers = %d with no quorum, want 0", snap.Falsetickers)
+	}
+	if !snap.Selected[0] || !snap.Selected[1] {
+		t.Errorf("Selected = %v with no quorum, want both", snap.Selected)
+	}
+}
+
+// TestReadmitAfterValidation: negative hysteresis is rejected.
+func TestReadmitAfterValidation(t *testing.T) {
+	if _, err := New(Config{
+		Engines:      []core.Config{core.DefaultConfig(synthP, 16)},
+		ReadmitAfter: -1,
+	}); err == nil {
+		t.Error("negative ReadmitAfter accepted")
+	}
+}
+
+// --- read-path allocations ---
+
+// TestReadPathZeroAlloc pins the read-path contract: the internal type
+// reuses scratch buffers, so combined reads allocate nothing.
+func TestReadPathZeroAlloc(t *testing.T) {
+	e := mustEnsemble(t, 5)
+	last := run(t, e, 60, func(k, _ int) float64 {
+		if k == 4 {
+			return 5e-3
+		}
+		return 0
+	})
+	T := uint64((last + 1) / synthP)
+	var sinkF float64
+	var sinkS Snapshot
+	for name, fn := range map[string]func(){
+		"AbsoluteTime":   func() { sinkF = e.AbsoluteTime(T) },
+		"RateHat":        func() { sinkF = e.RateHat() },
+		"DifferenceSpan": func() { sinkF = e.DifferenceSpan(T, T+1000) },
+		"TakeSnapshot":   func() { sinkS = e.TakeSnapshot(T) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+	_, _ = sinkF, sinkS
 }

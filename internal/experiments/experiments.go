@@ -159,6 +159,7 @@ func init() {
 		{"baseline", "SW-NTP baseline on identical traces", runBaseline},
 		{"ablation", "Contribution of each design mechanism", runAblation},
 		{"ensemble", "Faulty-server containment by the multi-server ensemble clock", runEnsemble},
+		{"select", "Colluding-minority rejection by interval-intersection selection", runSelect},
 	}
 }
 

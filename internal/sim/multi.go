@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/netem"
@@ -74,6 +75,56 @@ func NewMultiScenario(env Environment, servers []ServerSpec, poll, duration floa
 		DAGJitter:      base.DAGJitter,
 		Seed:           seed,
 	}
+}
+
+// ColludingHonest is the number of honest servers in a colluding
+// scenario: servers [0, ColludingHonest) are truthful, servers
+// [ColludingHonest, len(Servers)) collude on the injected offset.
+const ColludingHonest = 3
+
+// serverNearQuiet models an exceptionally clean nearby stratum-1
+// server: ServerLoc's two-hop machine-room paths with a quarter of the
+// queueing noise and congestion episodes four times rarer. Its point
+// errors sit near the timestamping floor, so a trust scorer driven by
+// path quality hands it the highest combining weight — which is
+// exactly what makes it the right disguise for a colluding server.
+func serverNearQuiet() ServerSpec {
+	spec := ServerLoc()
+	spec.Name = "ServerNearQuiet"
+	for _, p := range []*netem.PathConfig{&spec.Forward, &spec.Backward} {
+		p.BaseQueueMean /= 4
+		p.EpisodeScale /= 4
+		p.EpisodeMeanGap *= 4
+	}
+	return spec
+}
+
+// NewColludingScenario builds the selection stage's adversarial case:
+// five upstream servers, of which the last two collude — their server
+// clocks agree on the same wrong offset for the entire trace, and they
+// sit on unusually clean near-host paths, so a quality-driven trust
+// scorer hands the pair more than half the total combining weight. A
+// weighted median alone then follows the lie (its breakdown point is
+// weight-based); interval-intersection selection rejects the pair on
+// count, because their correctness intervals never reach the honest
+// majority's. The honest servers are ColludingHonest ServerInt-class
+// upstreams; offset 0 yields the all-good control with identical
+// random draws.
+func NewColludingScenario(env Environment, offset, poll, duration float64, seed uint64) MultiScenario {
+	servers := []ServerSpec{
+		ServerInt(), ServerInt(), ServerInt(),
+		serverNearQuiet(), serverNearQuiet(),
+	}
+	for k := ColludingHonest; k < len(servers); k++ {
+		servers[k].Server.Faults = []netem.FaultWindow{
+			// Unbounded: the tail emissions overrun Duration by up to a
+			// polling period, and the lie must cover them too.
+			{From: 0, To: math.Inf(1), Offset: offset},
+		}
+	}
+	sc := NewMultiScenario(env, servers, poll, duration, seed)
+	sc.Name = fmt.Sprintf("%s-collude%dof%d", env, len(servers)-ColludingHonest, len(servers))
+	return sc
 }
 
 // MultiExchange is one exchange of a multi-server trace: the exchange

@@ -99,6 +99,69 @@ func TestGenerateMultiHighJitter(t *testing.T) {
 	}
 }
 
+// TestColludingScenario pins the adversarial trace's construction: the
+// colluding pair's server stamps carry the injected lie for the whole
+// trace, the honest majority's stamps stay truthful, and the colluders
+// sit on cleaner, shorter paths than the honest servers (the disguise
+// that earns them trust weight).
+func TestColludingScenario(t *testing.T) {
+	const lie = 1.5 * timebase.Millisecond
+	sc := NewColludingScenario(MachineRoom, lie, 16, 6*timebase.Hour, 11)
+	if n := len(sc.Servers); n != 5 {
+		t.Fatalf("servers = %d, want 5", n)
+	}
+	tr, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sc.Servers {
+		worst := 0.0
+		for _, e := range tr.CompletedFor(k) {
+			// The server clock error as the stamps expose it, net of
+			// µs-scale stamp noise and wander.
+			err := (e.Tb+e.Te)/2 - (e.TrueTb+e.TrueTe)/2
+			want := 0.0
+			if k >= ColludingHonest {
+				want = lie
+			}
+			if d := math.Abs(err - want); d > worst {
+				worst = d
+			}
+		}
+		// Stamp noise is ~4 µs with rare sub-ms Te outliers; 1 ms margin
+		// separates cleanly from the 1.5 ms lie.
+		if worst > timebase.Millisecond {
+			t.Errorf("server %d stamp error off nominal by up to %v", k, worst)
+		}
+	}
+	// The colluders' paths are quieter and shorter than the honest ones.
+	if h, c := sc.Servers[0].MinRTT(), sc.Servers[ColludingHonest].MinRTT(); c >= h {
+		t.Errorf("colluder min RTT %v not below honest %v", c, h)
+	}
+	if h, c := sc.Servers[0].Forward.BaseQueueMean, sc.Servers[ColludingHonest].Forward.BaseQueueMean; c >= h {
+		t.Errorf("colluder queueing %v not below honest %v", c, h)
+	}
+
+	// Offset 0 is the all-good control: identical draws, no lie.
+	good, err := GenerateMulti(NewColludingScenario(MachineRoom, 0, 16, 6*timebase.Hour, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good.Exchanges) != len(tr.Exchanges) {
+		t.Fatalf("control trace has %d exchanges, adversarial %d", len(good.Exchanges), len(tr.Exchanges))
+	}
+	for i := range good.Exchanges {
+		g, b := good.Exchanges[i], tr.Exchanges[i]
+		if g.Server != b.Server || g.Lost != b.Lost || g.TrueTa != b.TrueTa {
+			t.Fatalf("exchange %d: control and adversarial schedules diverge", i)
+		}
+		if !g.Lost && b.Server >= ColludingHonest && math.Abs(b.Tb-g.Tb-lie) > 1e-9 {
+			t.Fatalf("exchange %d: colluder Tb differs from control by %v, want the lie %v",
+				i, b.Tb-g.Tb, lie)
+		}
+	}
+}
+
 func TestGenerateMultiGapsAndValidation(t *testing.T) {
 	sc := NewMultiScenario(MachineRoom, threeServers(), 16, 6*timebase.Hour, 9)
 	sc.Gaps = []Gap{{From: timebase.Hour, To: 2 * timebase.Hour}}

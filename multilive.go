@@ -29,10 +29,13 @@ type MultiLiveOptions struct {
 	// does for Live; NominalPeriod and PollPeriod take the same
 	// defaults.
 	Clock Options
-	// Ensemble trust tuning; zero values take the defaults.
-	PenaltyDecay    float64
-	ErrAlpha        float64
-	AgreementFactor float64
+	// Ensemble trust and selection tuning; zero values take the
+	// defaults (see EnsembleOptions).
+	PenaltyDecay     float64
+	ErrAlpha         float64
+	AgreementFactor  float64
+	ReadmitAfter     int
+	DisableSelection bool
 }
 
 // MultiLive is the multi-server counterpart of Live: the full pipeline
@@ -55,6 +58,15 @@ type MultiLive struct {
 // loops. Dialing fails closed: if any server address is unreachable the
 // whole dial fails and already-open sockets are released.
 func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
+	return dialMultiLive(opts, func(addr string) (net.Conn, error) {
+		return net.Dial("udp", addr)
+	})
+}
+
+// dialMultiLive is DialMultiLive with an injectable dial function, so
+// tests can observe the fail-closed socket release and exercise Close
+// aggregation without the network.
+func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (*MultiLive, error) {
 	if len(opts.Servers) == 0 {
 		return nil, fmt.Errorf("tscclock: MultiLiveOptions.Servers is required")
 	}
@@ -78,11 +90,13 @@ func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
 		clockOpts.PollPeriod = poll.Seconds()
 	}
 	ens, err := NewEnsemble(EnsembleOptions{
-		Servers:         len(opts.Servers),
-		Clock:           clockOpts,
-		PenaltyDecay:    opts.PenaltyDecay,
-		ErrAlpha:        opts.ErrAlpha,
-		AgreementFactor: opts.AgreementFactor,
+		Servers:          len(opts.Servers),
+		Clock:            clockOpts,
+		PenaltyDecay:     opts.PenaltyDecay,
+		ErrAlpha:         opts.ErrAlpha,
+		AgreementFactor:  opts.AgreementFactor,
+		ReadmitAfter:     opts.ReadmitAfter,
+		DisableSelection: opts.DisableSelection,
 	})
 	if err != nil {
 		return nil, err
@@ -93,7 +107,7 @@ func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
 		poll:    poll,
 	}
 	for _, addr := range opts.Servers {
-		conn, err := net.Dial("udp", addr)
+		conn, err := dial(addr)
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("tscclock: dial %s: %w", addr, err)

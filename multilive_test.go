@@ -2,6 +2,8 @@ package tscclock
 
 import (
 	"context"
+	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -97,5 +99,99 @@ func TestDialMultiLiveFailsClosed(t *testing.T) {
 		Servers: []string{good, "bad host name without port"},
 	}); err == nil {
 		t.Error("unreachable server accepted")
+	}
+}
+
+// trackedConn is a no-network net.Conn stub recording Close calls and
+// optionally failing them.
+type trackedConn struct {
+	closed   int
+	closeErr error
+}
+
+func (c *trackedConn) Read([]byte) (int, error)  { return 0, errors.New("stub") }
+func (c *trackedConn) Write([]byte) (int, error) { return 0, errors.New("stub") }
+func (c *trackedConn) Close() error {
+	c.closed++
+	return c.closeErr
+}
+func (c *trackedConn) LocalAddr() net.Addr              { return nil }
+func (c *trackedConn) RemoteAddr() net.Addr             { return nil }
+func (c *trackedConn) SetDeadline(time.Time) error      { return nil }
+func (c *trackedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *trackedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// dialTracked returns a dial function handing out the given conns in
+// order, failing on a nil entry.
+func dialTracked(conns []*trackedConn) func(string) (net.Conn, error) {
+	i := 0
+	return func(addr string) (net.Conn, error) {
+		c := conns[i]
+		i++
+		if c == nil {
+			return nil, errors.New("dial " + addr + ": unreachable")
+		}
+		return c, nil
+	}
+}
+
+// TestDialMultiLiveReleasesPriorConns pins the documented fail-closed
+// contract: when a later address fails to dial, every already-open
+// socket is closed before the error returns.
+func TestDialMultiLiveReleasesPriorConns(t *testing.T) {
+	conns := []*trackedConn{{}, {}, nil}
+	m, err := dialMultiLive(MultiLiveOptions{
+		Servers: []string{"a:123", "b:123", "c:123"},
+	}, dialTracked(conns))
+	if err == nil {
+		t.Fatal("failed dial accepted")
+	}
+	if m != nil {
+		t.Fatal("failed dial returned a synchronizer")
+	}
+	for i, c := range conns[:2] {
+		if c.closed != 1 {
+			t.Errorf("prior conn %d closed %d times, want 1", i, c.closed)
+		}
+	}
+}
+
+// TestMultiLiveCloseAggregates: Close closes every socket even when
+// some fail, and reports the first error.
+func TestMultiLiveCloseAggregates(t *testing.T) {
+	errA, errB := errors.New("close A"), errors.New("close B")
+	conns := []*trackedConn{{closeErr: errA}, {}, {closeErr: errB}}
+	m, err := dialMultiLive(MultiLiveOptions{
+		Servers: []string{"a:123", "b:123", "c:123"},
+	}, dialTracked(conns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Close(); got != errA {
+		t.Errorf("Close = %v, want first error %v", got, errA)
+	}
+	for i, c := range conns {
+		if c.closed != 1 {
+			t.Errorf("conn %d closed %d times, want 1", i, c.closed)
+		}
+	}
+}
+
+// TestMultiLiveStepOutOfRange: both ends of the index range are
+// rejected without touching any socket.
+func TestMultiLiveStepOutOfRange(t *testing.T) {
+	conns := []*trackedConn{{}, {}}
+	m, err := dialMultiLive(MultiLiveOptions{
+		Servers: []string{"a:123", "b:123"},
+	}, dialTracked(conns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Step(-1); err == nil {
+		t.Error("negative server index accepted")
+	}
+	if _, err := m.Step(2); err == nil {
+		t.Error("server index past the end accepted")
 	}
 }

@@ -12,11 +12,27 @@ import "time"
 // quiet, good-quality exchange up to Max; fall back toward Min when the
 // engine signals trouble (poor quality, sanity triggers, a detected
 // level shift or server change) so fresh information arrives when it is
-// worth the most. The zero value is not usable; use NewPoller.
+// worth the most.
+//
+// Exchange errors are handled asymmetrically: the first few consecutive
+// failures retry at Min — after a single loss, fresh evidence is worth
+// the most, exactly as after an engine event — but persistent failure
+// backs off exponentially toward Max, so an unreachable or
+// decommissioned server is not hammered at the fast rate forever. Any
+// successful exchange resets the failure count. The zero value is not
+// usable; use NewPoller.
 type Poller struct {
 	min, max time.Duration
 	current  time.Duration
+	failures int // consecutive exchange errors observed
 }
+
+// failFastRetries is the number of consecutive exchange failures
+// retried at the fast Min rate before the poller starts backing off: a
+// lone loss (or two) is ordinary packet loss and worth chasing, a
+// longer run means the server is down and polling faster will not
+// bring it back.
+const failFastRetries = 2
 
 // NewPoller constructs a poller bounded by [min, max]. Defaults when
 // zero: min 16 s, max 1024 s (the standard NTP polling range extended
@@ -41,10 +57,24 @@ func (p *Poller) Interval() time.Duration { return p.current }
 // and returns the interval to wait before the next poll. A nil receiver
 // is not valid.
 func (p *Poller) Observe(st Status, exchangeErr error) time.Duration {
+	if exchangeErr == nil {
+		p.failures = 0
+	}
 	switch {
 	case exchangeErr != nil:
-		// Loss or timeout: retry at the fast rate; the engine coasts.
-		p.current = p.min
+		// Loss or timeout: retry at the fast rate while the failure
+		// looks transient, then back off exponentially — a dead server
+		// yields no information at any polling rate, and the engine
+		// coasts regardless.
+		p.failures++
+		if p.failures <= failFastRetries {
+			p.current = p.min
+		} else {
+			p.current *= 2
+			if p.current > p.max {
+				p.current = p.max
+			}
+		}
 	case st.Warmup:
 		p.current = p.min
 	case st.UpwardShiftDetected, st.OffsetSanity, st.PoorQuality, st.ServerChanged:

@@ -63,6 +63,66 @@ func TestPollerResetsOnTrouble(t *testing.T) {
 	}
 }
 
+// TestPollerDeadServer: persistent exchange errors must not pin the
+// poller at the fast floor forever. The first failFastRetries failures
+// retry at min (a lone loss is worth chasing); after that the interval
+// doubles toward max and stays there while the server remains dead.
+func TestPollerDeadServer(t *testing.T) {
+	p := NewPoller(16*time.Second, 256*time.Second)
+	dead := errors.New("i/o timeout")
+	want := []time.Duration{16, 16, 32, 64, 128, 256, 256, 256}
+	for i, w := range want {
+		if got := p.Observe(Status{}, dead); got != w*time.Second {
+			t.Errorf("failure %d: interval %v, want %vs", i+1, got, w)
+		}
+	}
+	// Decommissioned server: the steady state is max, not min.
+	for i := 0; i < 20; i++ {
+		if got := p.Observe(Status{}, dead); got != 256*time.Second {
+			t.Fatalf("persistent failure %d: interval %v, want max", i, got)
+		}
+	}
+	// The server comes back: one success resets the failure budget and
+	// polling resumes the quiet-good climb from max.
+	if got := p.Observe(Status{}, nil); got != 256*time.Second {
+		t.Errorf("recovery: interval %v, want max (already there)", got)
+	}
+	// The next lone error is treated as fresh packet loss again.
+	if got := p.Observe(Status{}, dead); got != 16*time.Second {
+		t.Errorf("first error after recovery: interval %v, want min", got)
+	}
+}
+
+// TestPollerFlappyServer: isolated losses interleaved with successes
+// never trip the failure backoff — every error retries at min, every
+// success resumes the climb, and the consecutive-failure count resets
+// so flapping cannot accumulate into a spurious back-off.
+func TestPollerFlappyServer(t *testing.T) {
+	p := NewPoller(16*time.Second, 1024*time.Second)
+	flap := errors.New("lost")
+	steps := []struct {
+		err  error
+		want time.Duration
+	}{
+		{flap, 16 * time.Second}, // 1st consecutive failure: fast retry
+		{nil, 32 * time.Second},  // success: climb resumes, count resets
+		{flap, 16 * time.Second}, // 1st again, not 2nd
+		{flap, 16 * time.Second}, // 2nd consecutive: still fast
+		{nil, 32 * time.Second},  // reset
+		{flap, 16 * time.Second}, // 1st
+		{flap, 16 * time.Second}, // 2nd
+		{flap, 32 * time.Second}, // 3rd consecutive: backoff begins
+		{flap, 64 * time.Second}, // and compounds
+		{nil, 128 * time.Second}, // success: quiet climb from where it was
+		{flap, 16 * time.Second}, // counter was reset: fast retry again
+	}
+	for i, s := range steps {
+		if got := p.Observe(Status{}, s.err); got != s.want {
+			t.Errorf("step %d (err=%v): interval %v, want %v", i, s.err != nil, got, s.want)
+		}
+	}
+}
+
 // TestPollerObserveTransitions walks Observe through every policy arc
 // in one continuous run: warmup pinning, quiet-good doubling, the max
 // clamp, a trouble reset, and the recovery climb afterwards.
