@@ -15,6 +15,7 @@ package tscclock
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -129,8 +130,9 @@ func runAblation(b *testing.B, tr *sim.Trace, cfg core.Config) {
 				absErrs = append(absErrs, math.Abs(res.ThetaHat-thetaG-target))
 			}
 		}
-		medUs = stats.Median(absErrs) / timebase.Microsecond
-		p99Us = stats.Percentile(absErrs, 99) / timebase.Microsecond
+		sorted := stats.NewSorted(absErrs) // one sort for both quantiles
+		medUs = sorted.Median() / timebase.Microsecond
+		p99Us = sorted.Percentile(99) / timebase.Microsecond
 	}
 	b.ReportMetric(medUs, "median_us")
 	b.ReportMetric(p99Us, "p99_us")
@@ -226,6 +228,184 @@ func BenchmarkEnginePerPacket(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReadParallel measures the lock-free read path under reader
+// concurrency while a writer goroutine continuously processes packets:
+// the workload the published-readout refactor exists for. Readers run
+// with b.RunParallel (one goroutine per GOMAXPROCS unit); ns/op is the
+// per-read latency, which must not collapse as GOMAXPROCS grows (no
+// reader/writer serialization — compare `-cpu 1,2,4` runs; numbers in
+// PERF.md).
+func BenchmarkReadParallel(b *testing.B) {
+	// benchIn generates an endless monotone stream of clean exchanges
+	// (16 s spacing, 400 µs RTT on a 500 MHz counter), so the writer
+	// goroutines below never exhaust a trace mid-measurement — the
+	// contention must last the whole benchmark window.
+	const benchP = 2e-9
+	benchIn := func(i int) core.Input {
+		now := float64(i)*16 + 1
+		const rtt = 400e-6
+		return core.Input{
+			Ta: uint64(now / benchP), Tf: uint64((now + rtt) / benchP),
+			Tb: now + rtt/2, Te: now + rtt/2 + 20e-6,
+		}
+	}
+	b.Run("Clock", func(b *testing.B) {
+		c, err := New(Options{NominalPeriod: benchP, PollPeriod: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2048; i++ { // calibrate first
+			in := benchIn(i)
+			if _, err := c.ProcessNTPExchange(in.Ta, in.Tf, in.Tb, in.Te); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() { // the writer races every reader, for the whole window
+			defer close(done)
+			for i := 2048; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := benchIn(i)
+				if _, err := c.ProcessNTPExchange(in.Ta, in.Tf, in.Tb, in.Te); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		T := benchIn(2047).Tf
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var sink float64
+			i := uint64(0)
+			for pb.Next() {
+				i++
+				sink += c.AbsoluteTime(T + i)
+			}
+			_ = sink
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+	// MutexBaseline is the pre-refactor read path — every read takes
+	// the lock the writer holds during Process — reconstructed here so
+	// the serialization cost the published readout removed stays
+	// measurable.
+	b.Run("MutexBaseline", func(b *testing.B) {
+		s, err := core.NewSync(core.DefaultConfig(benchP, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		for i := 0; i < 2048; i++ {
+			if _, err := s.Process(benchIn(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 2048; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				_, err := s.Process(benchIn(i))
+				mu.Unlock()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		T := benchIn(2047).Tf
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var sink float64
+			i := uint64(0)
+			for pb.Next() {
+				i++
+				mu.Lock()
+				sink += s.AbsoluteTime(T + i)
+				mu.Unlock()
+			}
+			_ = sink
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+	b.Run("Ensemble", func(b *testing.B) {
+		const servers = 3
+		e, err := NewEnsemble(EnsembleOptions{
+			Servers: servers,
+			Clock:   Options{NominalPeriod: 2e-9, PollPeriod: 16},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const p = 2e-9
+		const rtt = 400e-6
+		feed := func(i int) error {
+			for k := 0; k < servers; k++ {
+				now := float64(i)*16 + float64(k)*16/float64(servers) + 1
+				if _, err := e.ProcessNTPExchange(k,
+					uint64(now/p), uint64((now+rtt)/p),
+					now+rtt/2, now+rtt/2+20e-6); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 100; i++ { // calibrate first
+			if err := feed(i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() { // the writer races every reader
+			defer close(done)
+			for i := 100; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := feed(i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		T := uint64(100 * 16 / p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var sink float64
+			i := uint64(0)
+			for pb.Next() {
+				i++
+				sink += e.AbsoluteTime(T + i)
+			}
+			_ = sink
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
 }
 
 // BenchmarkClockReads measures the absolute-clock read path.

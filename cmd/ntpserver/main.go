@@ -1,44 +1,161 @@
-// Command ntpserver runs the bundled minimal stratum-1 NTP server,
-// stamping requests from the OS clock. It answers standard client-mode
-// NTP packets, so both this repository's synchronizer and ordinary NTP
-// clients can use it.
+// Command ntpserver runs the bundled NTP server in one of two modes:
+//
+//   - stratum-1 (default): stamp requests from the OS clock, as a
+//     simple reference server for this repository's synchronizer and
+//     ordinary NTP clients;
+//   - stratum-2 relay (-upstream): synchronize the robust ensemble
+//     clock against two or more upstream NTP servers over UDP
+//     (MultiLive: per-server engines, trust scoring, interval
+//     selection, weighted-median combining) and serve the combined
+//     clock downstream, with the advertised stratum, leap, root delay
+//     and root dispersion derived from the ensemble's published
+//     health.
+//
+// Serving fans out across -shards sockets on one address
+// (SO_REUSEPORT on Linux, shared-socket readers elsewhere); every
+// shard stamps from the lock-free published readout, so reply
+// throughput scales across cores without contending with the upstream
+// pollers. SIGINT/SIGTERM close the listeners, drain the shards, and
+// print final counters, so the relay runs cleanly under a supervisor.
 //
 // Usage:
 //
 //	ntpserver -listen 127.0.0.1:1123 -refid GPS
+//	ntpserver -listen :1123 -shards 4 \
+//	    -upstream time1.example:123,time2.example:123,time3.example:123
 //
 // (Binding the privileged default port 123 requires root.)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
 
+	tscclock "repro"
 	"repro/internal/ntp"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:1123", "UDP address to listen on")
-		refid  = flag.String("refid", "GPS", "reference identifier to advertise")
+		listen   = flag.String("listen", "127.0.0.1:1123", "UDP address to listen on")
+		refid    = flag.String("refid", "", `reference identifier to advertise (default "GPS", or "TSCC" in relay mode)`)
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "serving sockets/readers on the listen address")
+		upstream = flag.String("upstream", "", "comma-separated upstream NTP servers; enables stratum-2 relay mode")
+		poll     = flag.Duration("poll", 64*time.Second, "upstream polling interval floor (relay mode)")
+		stats    = flag.Duration("stats", time.Minute, "period of the serving-counter log lines (0 disables)")
 	)
 	flag.Parse()
 
-	pc, err := net.ListenPacket("udp", *listen)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		srv    *ntp.Server
+		ml     *tscclock.MultiLive
+		sample ntp.SampleClock
+		err    error
+	)
+	var servers []string
+	for _, s := range strings.Split(*upstream, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			servers = append(servers, s)
+		}
+	}
+	if len(servers) > 0 {
+		if *refid == "" {
+			*refid = "TSCC"
+		}
+		ml, err = tscclock.DialMultiLive(tscclock.MultiLiveOptions{
+			Servers: servers,
+			Poll:    *poll,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ml.Close()
+		go func() {
+			// Exchange failures are tolerated (the clock coasts); the
+			// pollers run until shutdown.
+			_ = ml.Run(ctx, nil)
+		}()
+		sample = ml.ServerSample(ntp.RefIDFromString(*refid))
+		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *refid == "" {
+			*refid = "GPS"
+		}
+		srv, err = ntp.NewServer(ntp.ServerConfig{
+			Clock: ntp.SystemServerClock(),
+			RefID: ntp.RefIDFromString(*refid),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sh, err := srv.ListenShards("udp", *listen, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := ntp.NewServer(ntp.ServerConfig{
-		Clock: ntp.SystemServerClock(),
-		RefID: ntp.RefIDFromString(*refid),
-	})
+	mode := "stratum-1 (OS clock)"
+	if ml != nil {
+		mode = fmt.Sprintf("stratum-2 relay (%d upstreams, poll %v)", len(servers), *poll)
+	}
+	reuse := "shared socket"
+	if sh.ReusePort() {
+		reuse = "SO_REUSEPORT"
+	}
+	fmt.Printf("ntpserver %s (refid %s) on %s, %d shards (%s)\n",
+		mode, *refid, sh.Addr(), sh.Size(), reuse)
+
+	if *stats > 0 {
+		go logStats(ctx, srv, ml, sample, *stats)
+	}
+
+	err = sh.Serve(ctx)
+	// Drained: report the final counters before exiting.
+	fmt.Printf("shutdown: %s\n", statsLine(srv, ml, sample))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stratum-1 NTP server (refid %s) listening on %s\n", *refid, pc.LocalAddr())
-	if err := srv.Serve(pc); err != nil {
-		log.Fatal(err)
+}
+
+// logStats prints one counter line per period until the context ends.
+func logStats(ctx context.Context, srv *ntp.Server, ml *tscclock.MultiLive, sample ntp.SampleClock, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			log.Print(statsLine(srv, ml, sample))
+		}
 	}
+}
+
+// statsLine renders the serving counters — and in relay mode the
+// ensemble's health, read through the same sample the shards serve
+// from — all lock-free.
+func statsLine(srv *ntp.Server, ml *tscclock.MultiLive, sample ntp.SampleClock) string {
+	st := srv.Stats()
+	line := fmt.Sprintf("served %d/%d requests (dropped %d: %d short, %d malformed, %d non-client; %d write errors)",
+		st.Replied, st.Requests, st.Dropped(), st.Short, st.Malformed, st.NonClient, st.WriteErrors)
+	if ml != nil {
+		r := ml.Ensemble().Readout()
+		line += fmt.Sprintf("; upstream: %d exchanges, %d/%d ready, %d selected, %d falsetickers, synced=%v, stratum %d",
+			r.Exchanges, r.ReadyCount, len(r.Servers), r.SelectedCount, r.Falsetickers, r.Synced(), sample().Stratum)
+	}
+	return line
 }

@@ -84,9 +84,13 @@ type EnsembleStatus struct {
 // re-agreement) followed by trust-weighted median agreement — so faulty
 // or route-shifted servers, even ones that agree with each other, are
 // outvoted rather than followed. It is safe for concurrent use, like
-// Clock.
+// Clock, and reads never block: every combine publishes an immutable
+// combined readout through an atomic pointer, and every read method is
+// a pure function of the latest one — no mutex on any read, safe under
+// unbounded reader concurrency (the downstream NTP serving shards read
+// this way). The mutex serializes the exchange feed only.
 type Ensemble struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // serializes the exchange feed, not reads
 	ens *ensemble.Ensemble
 }
 
@@ -141,67 +145,66 @@ func (e *Ensemble) processWithIdentity(server int, ta, tf uint64, tb, te float64
 	}
 	// The index was validated by Process above.
 	changed, _ := e.ens.ObserveIdentity(server, id)
-	// The snapshot's slices are scratch-backed; copy what escapes the
-	// lock.
-	snap := e.ens.TakeSnapshot(tf)
-	sel := make([]bool, len(snap.Selected))
-	copy(sel, snap.Selected)
-	hint := make([]float64, len(snap.AsymmetryHint))
-	copy(hint, snap.AsymmetryHint)
+	// The combined state comes from the readout Process/ObserveIdentity
+	// just published — the same snapshot concurrent readers see.
+	r := e.ens.Readout()
+	sel := make([]bool, len(r.Servers))
+	hint := make([]float64, len(r.Servers))
+	for k := range r.Servers {
+		sel[k] = r.Servers[k].Selected
+		hint[k] = r.Servers[k].AsymmetryHint
+	}
 	return EnsembleStatus{
 		Status:        statusFromResult(res, changed),
 		Server:        server,
-		Weight:        snap.Weights[server],
-		Rate:          snap.Rate,
-		Agreement:     snap.Agreement,
+		Weight:        r.Servers[server].Weight,
+		Rate:          r.Rate,
+		Agreement:     r.Agreement(tf),
 		Selected:      sel,
-		Falsetickers:  snap.Falsetickers,
+		Falsetickers:  r.Falsetickers,
 		AsymmetryHint: hint,
 	}, nil
 }
 
+// Readout returns the latest published combined readout: an immutable
+// snapshot of the whole combine (per-server clocks, weights, selection
+// result) answering every read consistently, with a staleness bound
+// (Readout.Age). Never nil, never blocks.
+func (e *Ensemble) Readout() *ensemble.Readout { return e.ens.Readout() }
+
 // AbsoluteTime reads the combined absolute clock at a counter value:
 // the trust-weighted median of the per-server absolute clocks.
+// Lock-free: a pure function of the latest published combine.
 func (e *Ensemble) AbsoluteTime(counter uint64) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.AbsoluteTime(counter)
+	return e.ens.Readout().AbsoluteTime(counter)
 }
 
 // Between measures the interval between two counter readings with the
 // combined difference clock (combined rate only), like Clock.Between.
+// Lock-free.
 func (e *Ensemble) Between(c1, c2 uint64) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.DifferenceSpan(c1, c2)
+	return e.ens.Readout().DifferenceSpan(c1, c2)
 }
 
 // Period returns the combined rate estimate (seconds per cycle).
+// Lock-free.
 func (e *Ensemble) Period() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.RateHat()
+	return e.ens.Readout().RateHat()
 }
 
 // Weights returns the current normalized per-server combining weights
 // (zero for warmup servers and flagged falsetickers; see
-// EnsembleStatus.Weight for the all-excluded transient).
+// EnsembleStatus.Weight for the all-excluded transient). Lock-free.
 func (e *Ensemble) Weights() []float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.Weights()
+	return e.ens.Readout().Weights()
 }
 
-// ServerStates returns the per-server trust diagnostics.
+// ServerStates returns the per-server trust diagnostics. Lock-free.
 func (e *Ensemble) ServerStates() []ensemble.ServerState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.ServerStates()
+	return e.ens.Readout().ServerStates()
 }
 
-// Exchanges returns the total number of exchanges processed.
+// Exchanges returns the total number of exchanges processed. Lock-free.
 func (e *Ensemble) Exchanges() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ens.Exchanges()
+	return e.ens.Readout().Exchanges
 }

@@ -1,0 +1,128 @@
+// Stratum-2 relay end to end on loopback: the complete serving-layer
+// data flow of cmd/ntpserver, self-contained on one machine.
+//
+// The program starts three bundled stratum-1 NTP servers on loopback
+// (stamping from the OS clock), synchronizes a MultiLive ensemble
+// against them (one calibration engine per upstream, trust-weighted
+// interval-selected combining), then serves the combined clock
+// downstream from sharded listeners — every shard stamping replies
+// from the lock-free published readout — and finally queries its own
+// relay like any NTP client would, printing the advertised stratum,
+// leap and root dispersion as they change from "unsynchronized" to
+// calibrated.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	tscclock "repro"
+	"repro/internal/ntp"
+	"repro/internal/timebase"
+)
+
+func startUpstream() (net.Addr, func(), error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := ntp.NewServer(ntp.ServerConfig{Clock: ntp.SystemServerClock()})
+	if err != nil {
+		pc.Close()
+		return nil, nil, err
+	}
+	go srv.Serve(pc)
+	return pc.LocalAddr(), func() { pc.Close() }, nil
+}
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Three upstream stratum-1 servers on loopback.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, stop, err := startUpstream()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		addrs = append(addrs, addr.String())
+	}
+	fmt.Println("upstream stratum-1 servers:", addrs)
+
+	// The ensemble synchronizer polling them.
+	ml, err := tscclock.DialMultiLive(tscclock.MultiLiveOptions{
+		Servers: addrs,
+		Poll:    100 * time.Millisecond, // loopback demo; be slower on real networks
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ml.Close()
+	go ml.Run(ctx, nil)
+
+	// The downstream serving layer: 4 shards on one address, stamping
+	// from the ensemble's published readout.
+	srv, err := ntp.NewServer(ntp.ServerConfig{
+		Sample: ml.ServerSample(ntp.RefIDFromString("TSCC")),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh, err := srv.ListenShards("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go sh.Serve(ctx)
+	fmt.Printf("relay serving on %s (%d shards)\n\n", sh.Addr(), sh.Size())
+
+	// Query our own relay as an ordinary NTP client while the upstream
+	// calibration warms up and graduates.
+	conn, err := net.Dial("udp", sh.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Printf("%-4s %-10s %-8s %-10s %-12s %s\n", "i", "leap", "stratum", "refid", "rootdisp", "relay vs OS clock")
+	for i := 0; i < 12; i++ {
+		reply := query(conn)
+		diff := reply.Transmit.Time(time.Now()).Sub(time.Now())
+		leap := "none"
+		if reply.Leap == ntp.LeapNotSynced {
+			leap = "unsynced"
+		}
+		fmt.Printf("%-4d %-10s %-8d %-10s %-12s %v\n", i, leap, reply.Stratum,
+			reply.RefIDString(), timebase.FormatDuration(reply.RootDisp.Seconds()), diff)
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	st := srv.Stats()
+	r := ml.Ensemble().Readout()
+	fmt.Printf("\nserved %d requests; upstream: %d exchanges, %d/%d selected, synced=%v\n",
+		st.Replied, r.Exchanges, r.SelectedCount, len(r.Servers), r.Synced())
+}
+
+// query performs one raw client exchange and returns the reply packet.
+func query(conn net.Conn) ntp.Packet {
+	req := ntp.Packet{Version: 4, Mode: ntp.ModeClient, Transmit: ntp.Time64FromTime(time.Now())}
+	wire := req.Marshal()
+	if _, err := conn.Write(wire[:]); err != nil {
+		log.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [512]byte
+	n, err := conn.Read(buf[:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var resp ntp.Packet
+	if err := resp.Unmarshal(buf[:n]); err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}

@@ -40,6 +40,7 @@ func (s *Sync) ObserveIdentity(id Identity) bool {
 	if !s.identKnown {
 		s.ident = id
 		s.identKnown = true
+		s.publish()
 		return false
 	}
 	if id == s.ident {
@@ -47,6 +48,7 @@ func (s *Sync) ObserveIdentity(id Identity) bool {
 	}
 	s.ident = id
 	if s.hist.Len() == 0 {
+		s.publish()
 		return true
 	}
 	// Re-base the minimum from the current packet only. The r̂ deque is
@@ -69,6 +71,7 @@ func (s *Sync) ObserveIdentity(id Identity) bool {
 			s.pQual = qual
 		}
 	}
+	s.publish()
 	return true
 }
 

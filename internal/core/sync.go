@@ -151,6 +151,10 @@ type Sync struct {
 	// Server identity tracking (ObserveIdentity).
 	ident      Identity
 	identKnown bool
+
+	// pub is the atomically published read snapshot (see readout.go):
+	// the lock-free read side. Only the writer stores; readers load.
+	pub pubState
 }
 
 // NewSync constructs an engine from a validated config.
@@ -177,6 +181,7 @@ func NewSync(cfg Config) (*Sync, error) {
 	if s.nTop < 2*s.nWarm {
 		s.nTop = 2 * s.nWarm
 	}
+	s.publish()
 	return s, nil
 }
 
@@ -312,6 +317,7 @@ func (s *Sync) Process(in Input) (Result, error) {
 	res.RTTHat = s.rHat
 	res.PointError = s.hist.Back().pointErr
 	res.ThetaHat = s.theta
+	s.publish()
 	return res, nil
 }
 

@@ -235,6 +235,11 @@ type Ensemble struct {
 	widths []float64  // interval-width sort scratch (sweep voter filter)
 	sel    []bool     // Snapshot.Selected backing
 	hint   []float64  // Snapshot.AsymmetryHint backing
+
+	// Lock-free publication (see readout.go): lastTf anchors the
+	// combined readout's staleness, pub holds the published snapshot.
+	lastTf uint64
+	pub    ensemblePub
 }
 
 // New constructs an ensemble from one engine configuration per server.
@@ -267,6 +272,7 @@ func New(cfg Config) (*Ensemble, error) {
 		e.engines[i] = s
 		e.members[i].delta = ec.Delta
 	}
+	e.publish()
 	return e, nil
 }
 
@@ -290,6 +296,8 @@ func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 	}
 	e.members[server].observe(&e.cfg, &e.cfg.Engines[server], res)
 	e.updateSelection(in.Tf)
+	e.lastTf = in.Tf
+	e.publish()
 	return res, nil
 }
 
@@ -302,9 +310,18 @@ func (e *Ensemble) ObserveIdentity(server int, id core.Identity) (bool, error) {
 	if server < 0 || server >= len(e.engines) {
 		return false, fmt.Errorf("ensemble: server %d out of range [0,%d)", server, len(e.engines))
 	}
+	before := e.engines[server].Readout()
 	changed := e.engines[server].ObserveIdentity(id)
 	if changed {
 		e.members[server].penalty += e.cfg.Engines[server].OffsetSanity
+	}
+	// The server's identity is part of the published readout (relay
+	// serving derives its advertised stratum from it), so republish
+	// when the engine published a new snapshot — a first observation
+	// or a change — but not on the common unchanged-identity exchange,
+	// which would double the publication cost for nothing.
+	if changed || e.engines[server].Readout() != before {
+		e.publish()
 	}
 	return changed, nil
 }
@@ -782,6 +799,15 @@ func weightedMedianBuf(vals, ws []float64, buf []wv) float64 {
 		}
 		return vals[0]
 	}
+	return medianOfItems(items, total)
+}
+
+// medianOfItems is the shared median walk over positive-weight items:
+// the single algorithm behind both the writer-side scratch-buffer reads
+// and the lock-free readout reads, so the two paths agree bitwise on
+// identical inputs. items must be non-empty with positive weights
+// summing to total; it is sorted in place.
+func medianOfItems(items []wv, total float64) float64 {
 	slices.SortFunc(items, func(a, b wv) int {
 		switch {
 		case a.v < b.v:

@@ -1,0 +1,293 @@
+package ensemble
+
+// The published combined readout: the lock-free read side of the
+// ensemble, mirroring internal/core's Readout one layer up. The write
+// path (Process → trust scoring → selection sweep) publishes an
+// immutable snapshot of everything a combined-clock read needs through
+// an atomic pointer; readers — the public tscclock.Ensemble/MultiLive
+// wrappers, and through them every downstream NTP shard stamping
+// replies — load the pointer once and evaluate pure functions, with no
+// lock shared with the writer and no possibility of observing a torn
+// combine (a half-updated weight/selection set).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ServerReadout is one server's slice of a combined readout: its
+// engine's published clock snapshot plus the ensemble-level trust and
+// selection view of it.
+type ServerReadout struct {
+	// Clock is the server engine's own published readout (affine
+	// clock, offset anchor, quality, identity) — shared by pointer,
+	// not copied: engine readouts are immutable once published, and
+	// sharing keeps the per-packet publication cost flat in the
+	// snapshot size (the combine captures whichever engine snapshots
+	// were current at publish time; later engine publications swap
+	// pointers elsewhere and never mutate these).
+	Clock *core.Readout
+
+	// Weight is the normalized combining weight (zero for warmup
+	// servers and flagged falsetickers, with the documented mass-
+	// eviction and pre-graduation fallbacks already applied). raw is
+	// the unnormalized weight the combining medians use — kept
+	// separately so readout reads are bitwise identical to the
+	// writer-side scratch reads, which consume raw weights.
+	Weight float64
+	raw    float64
+
+	// Trust and selection diagnostics, as ServerState reports them.
+	Ready           bool
+	Selected        bool
+	Falseticker     bool
+	IntersectStreak int
+	AsymmetryHint   float64
+	ErrScale        float64
+	PointErrLevel   float64
+	RTTWobble       float64
+	Penalty         float64
+	Exchanges       int
+
+	// AgreementBound is the half-width of this server's error interval
+	// (AgreementFactor × ErrScale): the Agreement count and any
+	// downstream dispersion advertisement derive from it.
+	AgreementBound float64
+}
+
+// Readout is an immutable snapshot of the combined clock: the
+// selection result, the per-server states, and the combined rate. It
+// is published after every Process (one selection sweep per exchange)
+// and after every identity-change penalty; a Readout obtained once
+// keeps answering consistently while the ensemble processes further
+// exchanges. All methods are pure functions of the snapshot.
+type Readout struct {
+	// Servers holds one entry per configured server, in server order.
+	Servers []ServerReadout
+
+	// Rate is the combined rate estimate (seconds per counter cycle):
+	// the trust-weighted median of the selected servers' p̂,
+	// precomputed at publish time (it does not depend on the counter).
+	Rate float64
+
+	// Counts over Servers, precomputed for consumers that only gate on
+	// health: ready (past warmup), selected (truechimers), and flagged
+	// falsetickers.
+	ReadyCount    int
+	SelectedCount int
+	Falsetickers  int
+
+	// Exchanges is the total exchange count across all servers.
+	Exchanges int
+
+	// LastTf is the host counter value of the most recent exchange fed
+	// to any server: the staleness anchor of the whole combine. Age
+	// converts it to seconds.
+	LastTf uint64
+}
+
+// readScratch bounds the stack scratch of the lock-free read path;
+// ensembles larger than this still read correctly but the median
+// scratch spills to the heap. Real ensembles are single digits.
+const readScratch = 16
+
+// AbsoluteTime reads the combined absolute clock at a counter value:
+// the weighted median of the positive-weight servers' absolute clocks,
+// exactly as the writer-side Ensemble.AbsoluteTime computes it.
+func (r *Readout) AbsoluteTime(T uint64) float64 {
+	var buf [readScratch]wv
+	items, total := buf[:0], 0.0
+	for k := range r.Servers {
+		if w := r.Servers[k].raw; w > 0 {
+			items = append(items, wv{r.Servers[k].Clock.AbsoluteTime(T), w})
+			total += w
+		}
+	}
+	if len(items) == 0 {
+		if len(r.Servers) == 0 {
+			return 0
+		}
+		return r.Servers[0].Clock.AbsoluteTime(T)
+	}
+	return medianOfItems(items, total)
+}
+
+// RateHat returns the combined rate estimate (seconds per cycle).
+func (r *Readout) RateHat() float64 { return r.Rate }
+
+// DifferenceSpan measures the interval between two counter readings
+// with the combined difference clock (combined rate only).
+func (r *Readout) DifferenceSpan(T1, T2 uint64) float64 {
+	if T2 >= T1 {
+		return float64(T2-T1) * r.Rate
+	}
+	return -float64(T1-T2) * r.Rate
+}
+
+// Agreement counts the servers whose error interval (absolute clock ±
+// AgreementBound) contains the combined absolute time at counter value
+// T, mirroring Snapshot.Agreement: the normalized weights drive the
+// median here, as TakeSnapshot's does.
+func (r *Readout) Agreement(T uint64) int {
+	var buf [readScratch]wv
+	items, total := buf[:0], 0.0
+	var vals [readScratch]float64
+	vs := vals[:0]
+	for k := range r.Servers {
+		v := r.Servers[k].Clock.AbsoluteTime(T)
+		vs = append(vs, v)
+		if w := r.Servers[k].Weight; w > 0 {
+			items = append(items, wv{v, w})
+			total += w
+		}
+	}
+	combined := 0.0
+	switch {
+	case len(items) > 0:
+		combined = medianOfItems(items, total)
+	case len(vs) > 0:
+		combined = vs[0]
+	}
+	n := 0
+	for k := range r.Servers {
+		if r.Servers[k].Exchanges == 0 {
+			continue
+		}
+		d := vs[k] - combined
+		if d < 0 {
+			d = -d
+		}
+		if d <= r.Servers[k].AgreementBound {
+			n++
+		}
+	}
+	return n
+}
+
+// Weights returns the normalized per-server combining weights as a
+// fresh slice.
+func (r *Readout) Weights() []float64 {
+	ws := make([]float64, len(r.Servers))
+	for k := range r.Servers {
+		ws[k] = r.Servers[k].Weight
+	}
+	return ws
+}
+
+// Age returns the seconds elapsed (per the combined difference clock)
+// since the exchange this readout was published from — the staleness
+// bound of the combine. Before any exchange it measures from the
+// counter origin.
+func (r *Readout) Age(T uint64) float64 {
+	return r.DifferenceSpan(r.LastTf, T)
+}
+
+// Synced reports whether the combined clock is calibrated: at least
+// one server past warmup holds positive combining weight and an offset
+// estimate. Downstream NTP serving advertises unsynchronized until
+// this holds.
+func (r *Readout) Synced() bool {
+	for k := range r.Servers {
+		s := &r.Servers[k]
+		if s.Ready && s.Weight > 0 && s.Clock.HaveTheta {
+			return true
+		}
+	}
+	return false
+}
+
+// ServerStates derives the per-server diagnostic view from the
+// snapshot, field-for-field what the writer-side Ensemble.ServerStates
+// reports. The returned slice is freshly allocated.
+func (r *Readout) ServerStates() []ServerState {
+	out := make([]ServerState, len(r.Servers))
+	for k := range r.Servers {
+		sr := &r.Servers[k]
+		out[k] = ServerState{
+			Exchanges:       sr.Exchanges,
+			Ready:           sr.Ready,
+			Weight:          sr.Weight,
+			ErrScale:        sr.ErrScale,
+			PointErrLevel:   sr.PointErrLevel,
+			RTTWobble:       sr.RTTWobble,
+			Penalty:         sr.Penalty,
+			Selected:        sr.Selected,
+			Falseticker:     sr.Falseticker,
+			IntersectStreak: sr.IntersectStreak,
+			AsymmetryHint:   sr.AsymmetryHint,
+		}
+	}
+	return out
+}
+
+// publish makes the current combine visible to lock-free readers.
+// Called after every Process (post-selection) and after identity
+// penalties; also once at construction so Readout is never nil.
+func (e *Ensemble) publish() {
+	raw := e.rawWeights()
+	total := 0.0
+	for k := range raw {
+		total += raw[k]
+	}
+	ro := &Readout{
+		Servers: make([]ServerReadout, len(e.members)),
+		LastTf:  e.lastTf,
+	}
+	for k := range e.members {
+		m := &e.members[k]
+		sr := &ro.Servers[k]
+		sr.Clock = e.engines[k].Readout()
+		sr.raw = raw[k]
+		if total > 0 {
+			sr.Weight = raw[k] / total
+		}
+		sr.Ready = m.ready
+		sr.Selected = m.ready && m.selected
+		sr.Falseticker = m.ready && !m.selected && !e.cfg.DisableSelection
+		sr.IntersectStreak = m.streak
+		sr.AsymmetryHint = m.asym
+		sr.ErrScale = m.errScale()
+		sr.PointErrLevel = m.ewmaErr
+		sr.RTTWobble = m.rttWobble
+		sr.Penalty = m.penalty
+		sr.Exchanges = m.count
+		sr.AgreementBound = e.cfg.AgreementFactor * sr.ErrScale
+		ro.Exchanges += m.count
+		if sr.Ready {
+			ro.ReadyCount++
+		}
+		if sr.Selected {
+			ro.SelectedCount++
+		}
+		if sr.Falseticker {
+			ro.Falsetickers++
+		}
+	}
+	// Combined rate: the weighted median of the per-server p̂ under the
+	// raw weights — the same items, in the same order, through the same
+	// median walk as the writer-side RateHat.
+	var buf [readScratch]wv
+	items, wTotal := buf[:0], 0.0
+	for k := range ro.Servers {
+		if w := ro.Servers[k].raw; w > 0 {
+			items = append(items, wv{ro.Servers[k].Clock.P, w})
+			wTotal += w
+		}
+	}
+	switch {
+	case len(items) > 0:
+		ro.Rate = medianOfItems(items, wTotal)
+	case len(ro.Servers) > 0:
+		ro.Rate = ro.Servers[0].Clock.P
+	}
+	e.pub.Store(ro)
+}
+
+// Readout returns the most recently published combined snapshot. It is
+// safe to call from any goroutine at any time, including concurrently
+// with the writer: the returned value is immutable and never nil.
+func (e *Ensemble) Readout() *Readout { return e.pub.Load() }
+
+// ensemblePub is the atomic publication slot type.
+type ensemblePub = atomic.Pointer[Readout]

@@ -1,0 +1,197 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// checkReadoutMatchesWriter asserts, at one instant, that the published
+// readout answers every read identically to the writer-side scratch
+// methods (the pre-refactor locked path of the public wrappers).
+func checkReadoutMatchesWriter(t *testing.T, e *Ensemble, T uint64) {
+	t.Helper()
+	r := e.Readout()
+	if r == nil {
+		t.Fatal("no readout published")
+	}
+	if len(r.Servers) != e.Size() {
+		t.Fatalf("readout has %d servers, want %d", len(r.Servers), e.Size())
+	}
+	if got, want := r.AbsoluteTime(T), e.AbsoluteTime(T); got != want {
+		t.Fatalf("AbsoluteTime(%d): readout %v, writer %v", T, got, want)
+	}
+	if got, want := r.RateHat(), e.RateHat(); got != want {
+		t.Fatalf("RateHat: readout %v, writer %v", got, want)
+	}
+	if got, want := r.DifferenceSpan(T, T+5000), e.DifferenceSpan(T, T+5000); got != want {
+		t.Fatalf("DifferenceSpan: readout %v, writer %v", got, want)
+	}
+	if got, want := r.Exchanges, e.Exchanges(); got != want {
+		t.Fatalf("Exchanges: readout %d, writer %d", got, want)
+	}
+	snap := e.TakeSnapshot(T)
+	if got, want := r.Agreement(T), snap.Agreement; got != want {
+		t.Fatalf("Agreement(%d): readout %d, snapshot %d", T, got, want)
+	}
+	if got, want := r.Falsetickers, snap.Falsetickers; got != want {
+		t.Fatalf("Falsetickers: readout %d, snapshot %d", got, want)
+	}
+	ws := e.Weights()
+	states := e.ServerStates()
+	for k := range r.Servers {
+		sr := &r.Servers[k]
+		if sr.Weight != ws[k] {
+			t.Fatalf("server %d: readout weight %v, writer %v", k, sr.Weight, ws[k])
+		}
+		if sr.Selected != snap.Selected[k] {
+			t.Fatalf("server %d: readout selected %v, snapshot %v", k, sr.Selected, snap.Selected[k])
+		}
+		if sr.AsymmetryHint != snap.AsymmetryHint[k] {
+			t.Fatalf("server %d: readout hint %v, snapshot %v", k, sr.AsymmetryHint, snap.AsymmetryHint[k])
+		}
+		st := states[k]
+		if sr.Ready != st.Ready || sr.Falseticker != st.Falseticker ||
+			sr.IntersectStreak != st.IntersectStreak || sr.Exchanges != st.Exchanges ||
+			sr.ErrScale != st.ErrScale || sr.PointErrLevel != st.PointErrLevel ||
+			sr.RTTWobble != st.RTTWobble || sr.Penalty != st.Penalty {
+			t.Fatalf("server %d: readout diagnostics %+v do not match ServerState %+v", k, sr, st)
+		}
+	}
+}
+
+// TestEnsembleReadoutEquivalence feeds the harness scenarios — all
+// good, one faulty from the start, a mid-run fault — and checks after
+// every exchange that the published readout is equivalent to the
+// writer-side read path.
+func TestEnsembleReadoutEquivalence(t *testing.T) {
+	scenarios := map[string]func(server, round int) float64{
+		"all-good": func(int, int) float64 { return 0 },
+		"one-faulty": func(k, _ int) float64 {
+			if k == 2 {
+				return 5e-3
+			}
+			return 0
+		},
+		"midrun-fault": func(k, i int) float64 {
+			if k == 2 && i >= 40 {
+				return 5e-3
+			}
+			return 0
+		},
+	}
+	for name, fault := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			e := mustEnsemble(t, 3)
+			checkReadoutMatchesWriter(t, e, 1000) // pre-first-exchange
+			now := 0.0
+			for i := 0; i < 80; i++ {
+				for k := 0; k < e.Size(); k++ {
+					now = float64(i)*16 + float64(k)*16/float64(e.Size()) + 1
+					feed(t, e, k, now, fault(k, i))
+					checkReadoutMatchesWriter(t, e, uint64((now+0.5)/synthP))
+				}
+			}
+		})
+	}
+}
+
+// TestEnsembleReadoutIdentity: identity observations republish, so the
+// readout carries the server identity (the relay derives its advertised
+// stratum from it) and the change penalty shows in the weights.
+func TestEnsembleReadoutIdentity(t *testing.T) {
+	e := mustEnsemble(t, 2)
+	feed(t, e, 0, 1, 0)
+	if _, err := e.ObserveIdentity(0, core.Identity{RefID: 0x0a000001, Stratum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Readout()
+	if !r.Servers[0].Clock.IdentKnown || r.Servers[0].Clock.Ident.Stratum != 1 {
+		t.Fatalf("identity not published: %+v", r.Servers[0].Clock.Ident)
+	}
+	feed(t, e, 0, 17, 0)
+	changed, err := e.ObserveIdentity(0, core.Identity{RefID: 0x0a000002, Stratum: 2})
+	if err != nil || !changed {
+		t.Fatalf("change not detected (err %v)", err)
+	}
+	r = e.Readout()
+	if r.Servers[0].Clock.Ident.Stratum != 2 {
+		t.Fatalf("changed identity not published: %+v", r.Servers[0].Clock.Ident)
+	}
+	if r.Servers[0].Penalty == 0 {
+		t.Error("identity-change penalty not published")
+	}
+	checkReadoutMatchesWriter(t, e, uint64(18/synthP))
+}
+
+// TestEnsembleReadoutImmutable: a held readout is not changed by
+// further processing, and publication swaps the pointer.
+func TestEnsembleReadoutImmutable(t *testing.T) {
+	e := mustEnsemble(t, 3)
+	last := run(t, e, 40, func(int, int) float64 { return 0 })
+	r := e.Readout()
+	T := uint64((last + 1) / synthP)
+	before := r.AbsoluteTime(T)
+	for i := 0; i < 40; i++ {
+		for k := 0; k < e.Size(); k++ {
+			feed(t, e, k, last+2+float64(i)*16+float64(k)*16/3, 0)
+		}
+	}
+	if r.AbsoluteTime(T) != before {
+		t.Error("held readout changed its answer after further exchanges")
+	}
+	if e.Readout() == r {
+		t.Error("publication did not swap the snapshot pointer")
+	}
+}
+
+// TestEnsembleReadoutSynced: unsynced before warmup graduation, synced
+// after, and the staleness age grows at the combined rate.
+func TestEnsembleReadoutSynced(t *testing.T) {
+	e := mustEnsemble(t, 3)
+	if e.Readout().Synced() {
+		t.Error("Synced before any exchange")
+	}
+	feed(t, e, 0, 0.5, 0)
+	if e.Readout().Synced() {
+		t.Error("Synced during warmup")
+	}
+	last := run(t, e, 80, func(int, int) float64 { return 0 })
+	r := e.Readout()
+	if !r.Synced() {
+		t.Fatal("not Synced after 80 calibrated rounds")
+	}
+	T := r.LastTf + uint64(10/synthP)
+	if age := r.Age(T); math.Abs(age-10) > 0.1 {
+		t.Errorf("Age after ~10 s = %v", age)
+	}
+	_ = last
+}
+
+// TestEnsembleReadoutZeroAllocRead: loading the published readout and
+// reading through it allocates nothing — the lock-free analogue of
+// TestReadPathZeroAlloc.
+func TestEnsembleReadoutZeroAllocRead(t *testing.T) {
+	e := mustEnsemble(t, 5)
+	last := run(t, e, 60, func(k, _ int) float64 {
+		if k == 4 {
+			return 5e-3
+		}
+		return 0
+	})
+	T := uint64((last + 1) / synthP)
+	var sinkF float64
+	var sinkI int
+	for name, fn := range map[string]func(){
+		"AbsoluteTime": func() { sinkF = e.Readout().AbsoluteTime(T) },
+		"RateHat":      func() { sinkF = e.Readout().RateHat() },
+		"Agreement":    func() { sinkI = e.Readout().Agreement(T) },
+		"Age":          func() { sinkF = e.Readout().Age(T) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+	_, _ = sinkF, sinkI
+}

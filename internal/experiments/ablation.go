@@ -98,8 +98,9 @@ func runAblation(opts Options) (*Report, error) {
 			target := -asymAt(v.scenario, ex[k].TrueTf) / 2
 			absErrs = append(absErrs, math.Abs(res[k].ThetaHat-thetaG-target))
 		}
-		med := stats.Median(absErrs)
-		p99 := stats.Percentile(absErrs, 99)
+		sorted := stats.NewSorted(absErrs) // one sort for both quantiles
+		med := sorted.Median()
+		p99 := sorted.Percentile(99)
 		results[v.name] = [2]float64{med, p99}
 		if err := tab.Append(float64(i), med/1e-6, p99/1e-6); err != nil {
 			return nil, err

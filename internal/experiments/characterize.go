@@ -287,12 +287,13 @@ func runFig4(opts Options) (*Report, error) {
 
 	bMin, bMax := stats.MinMax(back)
 	sMin, sMax := stats.MinMax(srv)
-	b05 := stats.Percentile(back, 5)
+	bSorted, sSorted := stats.NewSorted(back), stats.NewSorted(srv) // one sort each
+	b05, bMed, sMed := bSorted.Percentile(5), bSorted.Median(), sSorted.Median()
 	r.addLine("backward delay: min %s p05 %s median %s max %s",
 		timebase.FormatDuration(bMin), timebase.FormatDuration(b05),
-		timebase.FormatDuration(stats.Median(back)), timebase.FormatDuration(bMax))
+		timebase.FormatDuration(bMed), timebase.FormatDuration(bMax))
 	r.addLine("server delay:   min %s median %s max %s",
-		timebase.FormatDuration(sMin), timebase.FormatDuration(stats.Median(srv)), timebase.FormatDuration(sMax))
+		timebase.FormatDuration(sMin), timebase.FormatDuration(sMed), timebase.FormatDuration(sMax))
 
 	// Note: Tg − Te can go *negative* on rare packets — the paper's own
 	// observation that server departure stamps Te can exceed true
@@ -305,7 +306,6 @@ func runFig4(opts Options) (*Report, error) {
 	r.addCheck("server delay min in µs range", "2–50µs",
 		timebase.FormatDuration(sMin), sMin > 2e-6 && sMin < 50e-6)
 	r.addCheck("server delays ≪ network delays (medians)", "ratio > 3",
-		fmt.Sprintf("%.1f", stats.Median(back)/stats.Median(srv)),
-		stats.Median(back) > 3*stats.Median(srv))
+		fmt.Sprintf("%.1f", bMed/sMed), bMed > 3*sMed)
 	return r, nil
 }

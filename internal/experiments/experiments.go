@@ -12,7 +12,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -249,15 +249,15 @@ func fiveNumLine(label string, errs []float64) string {
 		label, toUs(fn.P01), toUs(fn.P25), toUs(fn.P50), toUs(fn.P75), toUs(fn.P99))
 }
 
-// medianAbs returns the median of |xs|.
+// medianAbs returns the median of |xs| via stats — one sort, and the
+// package's *interpolating* median (the mean of the two central order
+// statistics for even n), replacing this helper's original upper-order-
+// statistic pick. The experiments' ratio checks sit orders of magnitude
+// away from the half-gap this can move a median by.
 func medianAbs(xs []float64) float64 {
 	cp := make([]float64, len(xs))
 	for i, x := range xs {
-		cp[i] = x
-		if cp[i] < 0 {
-			cp[i] = -cp[i]
-		}
+		cp[i] = math.Abs(x)
 	}
-	sort.Float64s(cp)
-	return cp[len(cp)/2]
+	return stats.NewSorted(cp).Median()
 }

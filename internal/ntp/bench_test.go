@@ -1,0 +1,108 @@
+package ntp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLoopback measures downstream serving throughput over
+// real loopback UDP: N shard listeners on one address (SO_REUSEPORT on
+// Linux), hammered by concurrent clients that keep a bounded window of
+// requests in flight (batched ping-pong: the window stays far below
+// the socket buffers, so loopback UDP does not drop). b.N counts
+// replies; ns/op is the per-reply budget at that shard count, and the
+// shards=4 / shards=1 throughput ratio is the sharding win recorded in
+// PERF.md.
+func BenchmarkServeLoopback(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := srv.ListenShards("udp", "127.0.0.1:0", shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			served := make(chan error, 1)
+			go func() { served <- sh.Serve(ctx) }()
+			defer func() {
+				cancel()
+				<-served
+			}()
+
+			// One flow per client socket: the kernel hashes flows across
+			// the reuseport set, so distinct sockets land on distinct
+			// shards. The in-flight window is sized against the socket
+			// buffer's per-packet truesize accounting (~1 KB per tiny
+			// datagram), and rare overflow drops are resent rather than
+			// failed — this is a throughput benchmark, not a loss test.
+			const clients = 8
+			const window = 16
+			req := Packet{Version: 4, Mode: ModeClient, Transmit: Time64FromTime(time.Now())}
+			wire := req.Marshal()
+			per := b.N / clients
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				n := per
+				if c == 0 {
+					n += b.N % clients
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					conn, err := net.Dial("udp", sh.Addr().String())
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer conn.Close()
+					var rbuf [512]byte
+					retries := 0
+					for done := 0; done < n; {
+						batch := window
+						if n-done < batch {
+							batch = n - done
+						}
+						for i := 0; i < batch; i++ {
+							if _, err := conn.Write(wire[:]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						for got := 0; got < batch; {
+							conn.SetReadDeadline(time.Now().Add(time.Second))
+							if _, err := conn.Read(rbuf[:]); err != nil {
+								// Dropped under buffer pressure: resend
+								// the outstanding remainder of the batch.
+								retries++
+								if retries > 100 {
+									b.Errorf("server unresponsive after %d retries (%d/%d replies)", retries, done+got, n)
+									return
+								}
+								for i := got; i < batch; i++ {
+									if _, err := conn.Write(wire[:]); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+								continue
+							}
+							got++
+						}
+						done += batch
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replies/s")
+		})
+	}
+}

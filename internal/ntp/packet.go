@@ -22,6 +22,16 @@ import (
 // PacketSize is the size of an NTP packet without extensions.
 const PacketSize = 48
 
+// StratumUnsynced is the stratum a server advertises while it has no
+// synchronized clock to serve (RFC 5905 calls 16 "unsynchronized");
+// clients must not adopt such a server.
+const StratumUnsynced = 16
+
+// DispersionRate is the standard NTP clock-drift allowance PHI
+// (15 PPM): root dispersion grows by this rate times the seconds since
+// the last synchronization update.
+const DispersionRate = 15e-6
+
 // LeapIndicator is the 2-bit leap second warning field.
 type LeapIndicator uint8
 

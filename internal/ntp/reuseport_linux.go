@@ -1,0 +1,39 @@
+//go:build linux && !mips && !mipsle && !mips64 && !mips64le
+
+package ntp
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable reports that this platform can bind several
+// sockets to one UDP port and have the kernel spread load across them.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT from Linux's asm-generic socket.h. The
+// standard syscall package does not export it (it lives in x/sys/unix,
+// which this repository deliberately does not depend on); the value is
+// 15 on every Linux port except MIPS, which the build tag excludes —
+// MIPS hosts take the shared-socket fallback.
+const soReusePort = 0xf
+
+// listenReusable binds a UDP socket with SO_REUSEPORT set, so further
+// shards can bind the same port and the kernel hashes client flows
+// across the set.
+func listenReusable(network, address string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), network, address)
+}

@@ -1,0 +1,15 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package ntp
+
+import "net"
+
+// reusePortAvailable: without SO_REUSEPORT semantics the shards share
+// one socket (concurrent readers are safe on net.PacketConn); the
+// socket serializes receives but stamping still parallelizes.
+const reusePortAvailable = false
+
+// listenReusable binds a plain UDP socket.
+func listenReusable(network, address string) (net.PacketConn, error) {
+	return net.ListenPacket(network, address)
+}

@@ -1,0 +1,349 @@
+package ntp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rawQuery sends raw bytes to addr and returns the reply (or times out).
+func rawQuery(t *testing.T, addr net.Addr, req []byte, want bool) []byte {
+	t.Helper()
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		if want {
+			t.Fatalf("no reply: %v", err)
+		}
+		return nil
+	}
+	if !want {
+		t.Fatalf("got a %d-byte reply to a packet that must be dropped", n)
+	}
+	return buf[:n]
+}
+
+// clientPacket builds a client-mode request with the given version.
+func clientPacket(version uint8) []byte {
+	p := Packet{Version: 4, Mode: ModeClient, Transmit: Time64FromTime(time.Now())}
+	b := p.Marshal()
+	b[0] = b[0]&^(0x7<<3) | (version&0x7)<<3 // set raw version bits
+	return b[:]
+}
+
+// TestServerVersionClamp: v1–v4 requests are answered with the
+// request's version echoed; a v5+ request is answered with the reply
+// version clamped to 4; a version-0 packet is dropped as malformed.
+func TestServerVersionClamp(t *testing.T) {
+	addr, stop := startTestServer(t, SystemServerClock())
+	defer stop()
+
+	for _, v := range []uint8{1, 2, 3, 4} {
+		reply := rawQuery(t, addr, clientPacket(v), true)
+		var resp Packet
+		if err := resp.Unmarshal(reply); err != nil {
+			t.Fatalf("v%d: bad reply: %v", v, err)
+		}
+		if resp.Version != v {
+			t.Errorf("v%d request answered with version %d", v, resp.Version)
+		}
+		if resp.Mode != ModeServer {
+			t.Errorf("v%d: mode = %v", v, resp.Mode)
+		}
+	}
+	for _, v := range []uint8{5, 6, 7} {
+		reply := rawQuery(t, addr, clientPacket(v), true)
+		var resp Packet
+		if err := resp.Unmarshal(reply); err != nil {
+			t.Fatalf("v%d: bad reply: %v", v, err)
+		}
+		if resp.Version != 4 {
+			t.Errorf("v%d request answered with version %d, want clamp to 4", v, resp.Version)
+		}
+	}
+	rawQuery(t, addr, clientPacket(0), false)
+}
+
+// TestServerDropsShortAndCounts: packets shorter than the 48-byte v4
+// header are dropped without a reply, and every outcome is counted.
+func TestServerDropsShortAndCounts(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(pc) }()
+	defer func() { pc.Close(); <-done }()
+
+	rawQuery(t, pc.LocalAddr(), make([]byte, 20), false) // short
+	rawQuery(t, pc.LocalAddr(), clientPacket(0), false)  // version 0
+	srvMode := Packet{Version: 4, Mode: ModeServer}      // non-client
+	b := srvMode.Marshal()
+	rawQuery(t, pc.LocalAddr(), b[:], false)
+	rawQuery(t, pc.LocalAddr(), clientPacket(4), true) // served
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		st := srv.Stats()
+		if st.Requests >= 4 && st.Replied == 1 {
+			if st.Short != 1 || st.Malformed != 1 || st.NonClient != 1 {
+				t.Fatalf("stats = %+v", st)
+			}
+			if st.Dropped() != 3 {
+				t.Fatalf("Dropped() = %d, want 3", st.Dropped())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never settled: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerSampleClockHealth: a dynamic SampleClock drives the
+// advertised stratum, leap, precision, refid and root fields of every
+// reply — the mechanism the stratum-2 relay serves through.
+func TestServerSampleClockHealth(t *testing.T) {
+	sample := ClockSample{
+		Time:      Time64FromTime(time.Now()),
+		Leap:      LeapNotSynced,
+		Stratum:   2,
+		Precision: -29,
+		RefID:     RefIDFromString("TSCC"),
+		RootDelay: Short32FromSeconds(0.001),
+		RootDisp:  Short32FromSeconds(0.002),
+	}
+	srv, err := NewServer(ServerConfig{Sample: func() ClockSample { return sample }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(pc) }()
+	defer func() { pc.Close(); <-done }()
+
+	reply := rawQuery(t, pc.LocalAddr(), clientPacket(4), true)
+	var resp Packet
+	if err := resp.Unmarshal(reply); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Leap != LeapNotSynced || resp.Stratum != 2 || resp.Precision != -29 ||
+		resp.RefID != sample.RefID || resp.RootDelay != sample.RootDelay ||
+		resp.RootDisp != sample.RootDisp {
+		t.Errorf("reply health = %+v, want the sampled values", resp)
+	}
+	if resp.Receive != sample.Time || resp.Transmit != sample.Time {
+		t.Errorf("reply stamps not from the sample clock")
+	}
+}
+
+// failingConn is a PacketConn stub whose reads fail with a genuine
+// (non-timeout) error; blockingConn blocks until closed, like an idle
+// UDP socket.
+type failingConn struct {
+	net.PacketConn
+	err error
+}
+
+func (c *failingConn) ReadFrom([]byte) (int, net.Addr, error) { return 0, nil, c.err }
+func (c *failingConn) Close() error                           { return nil }
+
+type blockingConn struct {
+	net.PacketConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *blockingConn) ReadFrom([]byte) (int, net.Addr, error) {
+	<-c.closed
+	return 0, nil, net.ErrClosed
+}
+func (c *blockingConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// scriptedConn feeds Serve a fixed sequence of request packets and
+// fails reply writes with writeErr until it is cleared; after the
+// script is exhausted, reads block until Close.
+type scriptedConn struct {
+	net.PacketConn
+	reqs     [][]byte
+	writeErr error
+	wrote    int
+	closed   chan struct{}
+	once     sync.Once
+}
+
+func (c *scriptedConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	if len(c.reqs) == 0 {
+		<-c.closed
+		return 0, nil, net.ErrClosed
+	}
+	req := c.reqs[0]
+	c.reqs = c.reqs[1:]
+	copy(b, req)
+	return len(req), &net.UDPAddr{IP: net.IPv4bcast, Port: 123}, nil
+}
+
+func (c *scriptedConn) WriteTo([]byte, net.Addr) (int, error) {
+	if c.writeErr != nil {
+		err := c.writeErr
+		c.writeErr = nil // fail once, like a spoofed-source EACCES
+		return 0, err
+	}
+	c.wrote++
+	return PacketSize, nil
+}
+
+func (c *scriptedConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// TestServeSurvivesWriteError: one failed reply write (e.g. EACCES for
+// a spoofed broadcast source) is counted and skipped — it must not
+// kill the shard, which with fail-fast shards would take down the
+// whole relay.
+func TestServeSurvivesWriteError(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &scriptedConn{
+		reqs:     [][]byte{clientPacket(4), clientPacket(4)},
+		writeErr: errors.New("sendto: permission denied"),
+		closed:   make(chan struct{}),
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(pc) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Replied < 1 {
+		select {
+		case err := <-done:
+			t.Fatalf("Serve died on a per-packet write error: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second request never served: %+v", srv.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.WriteErrors != 1 || st.Replied != 1 || st.Requests != 2 {
+		t.Errorf("stats = %+v, want 2 requests, 1 write error, 1 replied", st)
+	}
+	pc.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Serve after close = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestShardsFailFast: when one shard dies with a genuine error, Serve
+// must close the remaining shards and report the error promptly — not
+// silently keep serving on a partial shard set until the context ends.
+func TestShardsFailFast(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fd fell over")
+	sh := &Shards{srv: srv, reuseport: true, pcs: []net.PacketConn{
+		&blockingConn{closed: make(chan struct{})},
+		&failingConn{err: boom},
+		&blockingConn{closed: make(chan struct{})},
+	}}
+	done := make(chan error, 1)
+	go func() { done <- sh.Serve(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != boom {
+			t.Fatalf("Serve = %v, want the shard's error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not fail fast on a dead shard")
+	}
+}
+
+// TestShardsServeShutdown: N shards answer on one address, drain on
+// context cancellation, and share one set of counters.
+func TestShardsServeShutdown(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.ListenShards("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Size() != 4 {
+		t.Fatalf("Size = %d", sh.Size())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- sh.Serve(ctx) }()
+
+	// Several concurrent clients, each its own flow (SO_REUSEPORT
+	// hashes per flow, so distinct sockets spread across shards).
+	const clients, rounds = 8, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("udp", sh.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			counter, _ := MonotonicCounter()
+			cl := NewClient(conn, counter, 2*time.Second)
+			for i := 0; i < rounds; i++ {
+				if _, err := cl.Exchange(); err != nil {
+					t.Errorf("exchange: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve after cancel = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not drain after cancellation")
+	}
+	st := srv.Stats()
+	if st.Replied != clients*rounds {
+		t.Errorf("Replied = %d, want %d", st.Replied, clients*rounds)
+	}
+	if st.Requests < st.Replied {
+		t.Errorf("Requests %d < Replied %d", st.Requests, st.Replied)
+	}
+}

@@ -1,0 +1,125 @@
+package ntp
+
+// Sharded serving: fan one UDP listen address out across N reader
+// goroutines so reply stamping scales across cores. On Linux the
+// shards are N independent SO_REUSEPORT sockets — the kernel hashes
+// each client flow to one socket, so shards share nothing, not even a
+// socket lock. Elsewhere the shards are N readers draining a single
+// shared socket (net.PacketConn is safe for concurrent use); the
+// kernel socket becomes the serialization point, but stamping and
+// marshalling still parallelize.
+//
+// The serving clock must be lock-free for this to pay off: with the
+// published-readout read path every shard stamps from an atomic
+// pointer load, so adding shards adds throughput instead of contention
+// (see BenchmarkServeLoopback and PERF.md).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Shards is a set of sockets answering NTP on one address through one
+// Server (shared clock, shared counters). Create with ListenShards,
+// run with Serve, stop by cancelling the context (or Close).
+type Shards struct {
+	srv       *Server
+	pcs       []net.PacketConn
+	reuseport bool
+}
+
+// ListenShards binds n serving sockets for address on network
+// ("udp", "udp4", "udp6"). On Linux the n sockets share the port via
+// SO_REUSEPORT; elsewhere one socket is bound and shared by n reader
+// goroutines. n < 1 is treated as 1.
+func (s *Server) ListenShards(network, address string, n int) (*Shards, error) {
+	if n < 1 {
+		n = 1
+	}
+	sh := &Shards{srv: s, reuseport: reusePortAvailable}
+
+	first, err := listenReusable(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("ntp: listen %s: %w", address, err)
+	}
+	sh.pcs = append(sh.pcs, first)
+
+	if !reusePortAvailable {
+		// Single shared socket: Serve goroutines drain it together.
+		for i := 1; i < n; i++ {
+			sh.pcs = append(sh.pcs, first)
+		}
+		return sh, nil
+	}
+	// Re-bind the concrete address the first socket got (resolves the
+	// ":0" ephemeral-port case) for the remaining shards.
+	concrete := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		pc, err := listenReusable(network, concrete)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("ntp: listen shard %d on %s: %w", i, concrete, err)
+		}
+		sh.pcs = append(sh.pcs, pc)
+	}
+	return sh, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (sh *Shards) Addr() net.Addr { return sh.pcs[0].LocalAddr() }
+
+// Size returns the number of shard serving loops.
+func (sh *Shards) Size() int { return len(sh.pcs) }
+
+// ReusePort reports whether the shards hold independent SO_REUSEPORT
+// sockets (true on Linux) or share one socket.
+func (sh *Shards) ReusePort() bool { return sh.reuseport }
+
+// Serve runs one serving loop per shard and blocks until the context
+// is cancelled or a shard fails. On cancellation the sockets are
+// closed, every shard drains, and the return value is nil; a genuine
+// serving error (not the cancellation-induced close) is returned
+// instead.
+func (sh *Shards) Serve(ctx context.Context) error {
+	errc := make(chan error, len(sh.pcs))
+	for _, pc := range sh.pcs {
+		go func(pc net.PacketConn) { errc <- sh.srv.Serve(pc) }(pc)
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sh.Close()
+		case <-done:
+		}
+	}()
+	var first error
+	for range sh.pcs {
+		if err := <-errc; err != nil && !errors.Is(err, net.ErrClosed) && first == nil {
+			first = err
+			// One shard died for real: close the rest immediately so
+			// Serve reports the failure instead of silently serving on
+			// a partial shard set until someone cancels the context.
+			sh.Close()
+		}
+	}
+	return first
+}
+
+// Close closes every shard socket. Safe to call more than once and
+// concurrently with Serve (which then drains and returns).
+func (sh *Shards) Close() error {
+	var first error
+	for i, pc := range sh.pcs {
+		if !sh.reuseport && i > 0 {
+			break // one shared socket, close once
+		}
+		if err := pc.Close(); err != nil && !errors.Is(err, net.ErrClosed) && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -3,7 +3,9 @@ package ntp
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,6 +13,15 @@ import (
 // is a monotonic nanosecond counter; in the simulation it is the modelled
 // TSC register. Reads must be cheap and monotonic non-decreasing.
 type Counter func() uint64
+
+// PrecisionFromPeriod converts a counter period in seconds to the NTP
+// precision field (log2 seconds, rounded up): 1 ns → −29.
+func PrecisionFromPeriod(period float64) int8 {
+	if period <= 0 {
+		return -20
+	}
+	return int8(math.Ceil(math.Log2(period)))
+}
 
 // MonotonicCounter returns a Counter reading nanoseconds of monotonic
 // time since the call, together with its nominal period in seconds
@@ -131,47 +142,137 @@ func SystemServerClock() ServerClock {
 	return func() Time64 { return Time64FromTime(time.Now()) }
 }
 
-// ServerConfig configures the bundled stratum-1 server.
+// ClockSample is one reading of a serving clock together with the
+// health the server should advertise for it. A stratum-2 relay derives
+// Leap/Stratum/RootDelay/RootDisp from the upstream ensemble's
+// published readout; the bundled stratum-1 server uses static values.
+type ClockSample struct {
+	Time      Time64
+	Leap      LeapIndicator
+	Stratum   uint8
+	Precision int8
+	RefID     uint32
+	RootDelay Short32
+	RootDisp  Short32
+}
+
+// SampleClock supplies dynamic stamping plus advertised health for
+// every request. It must be safe for concurrent use: the sharded
+// serving path calls it from every shard goroutine (reads of a
+// published clock readout satisfy this for free).
+type SampleClock func() ClockSample
+
+// ServerConfig configures the bundled NTP server.
 type ServerConfig struct {
+	// Sample supplies stamping and per-request health. When nil, a
+	// static SampleClock is assembled from the legacy fields below.
+	Sample SampleClock
+
+	// Clock stamps replies when Sample is nil.
 	Clock     ServerClock
 	RefID     uint32 // defaults to "GPS"
 	Stratum   uint8  // defaults to 1
 	Precision int8   // defaults to -20 (~1 µs)
 }
 
-// Server is a minimal stratum-1 NTP responder. It answers client-mode
-// requests with server-mode replies carrying receive and transmit
-// stamps, which is all the TSC-NTP calibration consumes.
+// Stats is a point-in-time snapshot of a server's request counters,
+// aggregated across every shard serving through the same Server.
+type Stats struct {
+	Requests    uint64 // packets read off the sockets
+	Replied     uint64 // server-mode replies sent
+	Short       uint64 // dropped: shorter than the 48-byte v4 header
+	Malformed   uint64 // dropped: unparseable or version 0
+	NonClient   uint64 // dropped: not a client-mode request
+	WriteErrors uint64 // reply writes that failed
+}
+
+// Dropped is the total of all drop reasons.
+func (s Stats) Dropped() uint64 { return s.Short + s.Malformed + s.NonClient }
+
+// counters is the atomic backing of Stats; one instance is shared by
+// every shard goroutine of a Server.
+type counters struct {
+	requests    atomic.Uint64
+	replied     atomic.Uint64
+	short       atomic.Uint64
+	malformed   atomic.Uint64
+	nonClient   atomic.Uint64
+	writeErrors atomic.Uint64
+}
+
+// Server is a minimal NTP responder. It answers client-mode requests
+// with server-mode replies carrying receive and transmit stamps —
+// all the TSC-NTP calibration consumes — stamping every reply from a
+// SampleClock (the OS clock for the bundled stratum-1 server, a
+// synchronized ensemble readout for the stratum-2 relay). One Server
+// may serve many sockets concurrently (see ListenShards); the counters
+// are shared and atomic.
 type Server struct {
-	cfg ServerConfig
+	sample SampleClock
+	stats  counters
 }
 
 // NewServer constructs a server; nil or zero fields take defaults.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Clock == nil {
-		return nil, errors.New("ntp: server requires a clock")
+	sample := cfg.Sample
+	if sample == nil {
+		if cfg.Clock == nil {
+			return nil, errors.New("ntp: server requires a clock")
+		}
+		if cfg.RefID == 0 {
+			cfg.RefID = RefIDFromString("GPS")
+		}
+		if cfg.Stratum == 0 {
+			cfg.Stratum = 1
+		}
+		if cfg.Precision == 0 {
+			cfg.Precision = -20
+		}
+		clock := cfg.Clock
+		static := ClockSample{
+			Leap:      LeapNone,
+			Stratum:   cfg.Stratum,
+			Precision: cfg.Precision,
+			RefID:     cfg.RefID,
+		}
+		sample = func() ClockSample {
+			s := static
+			s.Time = clock()
+			return s
+		}
 	}
-	if cfg.RefID == 0 {
-		cfg.RefID = RefIDFromString("GPS")
+	return &Server{sample: sample}, nil
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.stats.requests.Load(),
+		Replied:     s.stats.replied.Load(),
+		Short:       s.stats.short.Load(),
+		Malformed:   s.stats.malformed.Load(),
+		NonClient:   s.stats.nonClient.Load(),
+		WriteErrors: s.stats.writeErrors.Load(),
 	}
-	if cfg.Stratum == 0 {
-		cfg.Stratum = 1
-	}
-	if cfg.Precision == 0 {
-		cfg.Precision = -20
-	}
-	return &Server{cfg: cfg}, nil
 }
 
 // Serve answers requests on pc until the connection is closed or a
-// non-timeout error occurs. It processes requests sequentially: NTP
-// server load is negligible at sane polling rates and sequencing keeps
-// receive/transmit stamps ordered.
+// non-timeout read error occurs; reply WRITE failures are per-packet
+// (a spoofed unroutable source must not cost the shard) — counted in
+// Stats and skipped. Requests on one socket are processed
+// sequentially, which keeps that socket's receive/transmit stamps
+// ordered; run several Serve loops (ListenShards) to scale across
+// cores.
+//
+// Input validation is explicit rather than delegated to Unmarshal:
+// packets shorter than the 48-byte v4 header and version-0 packets are
+// dropped and counted, and a request with a version above 4 is served
+// with the reply version clamped to 4 (RFC 5905 §7.3 behaviour: answer
+// with the highest version the server speaks) instead of dropped.
 func (s *Server) Serve(pc net.PacketConn) error {
 	var buf [512]byte
 	for {
 		n, addr, err := pc.ReadFrom(buf[:])
-		rx := s.cfg.Clock()
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
@@ -179,33 +280,67 @@ func (s *Server) Serve(pc net.PacketConn) error {
 			}
 			return err
 		}
+		s.stats.requests.Add(1)
+		if n < PacketSize {
+			s.stats.short.Add(1)
+			continue
+		}
+		ver := (buf[0] >> 3) & 0x7
+		if ver == 0 {
+			s.stats.malformed.Add(1)
+			continue
+		}
+		if ver > 4 {
+			// Clamp to the newest version we speak, both for parsing
+			// (the codec rejects unknown versions) and for the reply.
+			ver = 4
+			buf[0] = buf[0]&^(0x7<<3) | ver<<3
+		}
 		var req Packet
 		if err := req.Unmarshal(buf[:n]); err != nil {
+			s.stats.malformed.Add(1)
 			continue
 		}
 		if req.Mode != ModeClient {
+			s.stats.nonClient.Add(1)
 			continue
 		}
+		// One sample stamps the whole reply. Sampling only for packets
+		// that will be answered keeps a garbage flood from buying
+		// combined-readout evaluations, and using the SAME sample for
+		// Receive and Transmit keeps the stamps mutually consistent —
+		// two samples could straddle a publication and step Transmit
+		// before Receive. The sub-microsecond dwell this hides is far
+		// below the clock's error scale.
+		rx := s.sample()
 		resp := Packet{
-			Leap:      LeapNone,
-			Version:   req.Version,
+			Leap:      rx.Leap,
+			Version:   ver,
 			Mode:      ModeServer,
-			Stratum:   s.cfg.Stratum,
+			Stratum:   rx.Stratum,
 			Poll:      req.Poll,
-			Precision: s.cfg.Precision,
-			RefID:     s.cfg.RefID,
-			RefTime:   rx,
+			Precision: rx.Precision,
+			RootDelay: rx.RootDelay,
+			RootDisp:  rx.RootDisp,
+			RefID:     rx.RefID,
+			RefTime:   rx.Time,
 			Origin:    req.Transmit,
-			Receive:   rx,
+			Receive:   rx.Time,
+			Transmit:  rx.Time,
 		}
-		resp.Transmit = s.cfg.Clock()
 		out := resp.Marshal()
 		if _, err := pc.WriteTo(out[:], addr); err != nil {
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue
+			// Reply write failures are per-packet, not per-server: a
+			// request from a spoofed broadcast source (EACCES) or a
+			// transient ENOBUFS must cost one counted drop, not the
+			// shard — and with fail-fast shards, not the whole relay.
+			// Only a closed socket ends the loop.
+			s.stats.writeErrors.Add(1)
+			if errors.Is(err, net.ErrClosed) {
+				return err
 			}
-			return err
+			continue
 		}
+		s.stats.replied.Add(1)
 	}
 }

@@ -25,60 +25,75 @@ import (
 	"sort"
 )
 
-// Percentile returns the p-th percentile (p in [0,100]) of xs using
-// linear interpolation between order statistics. It panics on empty
-// input or out-of-range p; callers own input validation.
-func Percentile(xs []float64, p float64) float64 {
+// Sorted is a sorted copy of a sample: the single-sort entry point
+// behind every order statistic in this package. Callers that evaluate
+// several percentiles of one slice should build a Sorted once and
+// query it — each query is O(1) against the one O(n log n) sort —
+// instead of paying a fresh copy+sort per call through the
+// slice-taking convenience wrappers.
+type Sorted []float64
+
+// NewSorted returns a sorted copy of xs. It panics on empty input;
+// callers own validation, like the rest of the package.
+func NewSorted(xs []float64) Sorted {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
-	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+		panic("stats: NewSorted of empty slice")
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
-	return percentileSorted(cp, p)
+	return Sorted(cp)
 }
 
-// percentileSorted computes a percentile of an already-sorted slice.
-func percentileSorted(sorted []float64, p float64) float64 {
-	if len(sorted) == 1 {
-		return sorted[0]
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics. It panics on out-of-range p.
+func (s Sorted) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
-	pos := p / 100 * float64(len(sorted)-1)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
 	lo := int(pos)
-	if lo >= len(sorted)-1 {
-		return sorted[len(sorted)-1]
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s Sorted) Median() float64 { return s.Percentile(50) }
+
+// IQR returns the inter-quartile range (75th − 25th percentile).
+func (s Sorted) IQR() float64 { return s.Percentile(75) - s.Percentile(25) }
+
+// Quantiles evaluates several percentiles against the one sort.
+func (s Sorted) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Percentile(p)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between order statistics. It panics on empty
+// input or out-of-range p; callers own input validation. Evaluating
+// several percentiles of the same slice? Build one NewSorted instead.
+func Percentile(xs []float64, p float64) float64 {
+	return NewSorted(xs).Percentile(p)
 }
 
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // IQR returns the inter-quartile range (75th − 25th percentile).
-func IQR(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	return percentileSorted(cp, 75) - percentileSorted(cp, 25)
-}
+func IQR(xs []float64) float64 { return NewSorted(xs).IQR() }
 
 // Quantiles evaluates several percentiles with a single sort.
 func Quantiles(xs []float64, ps ...float64) []float64 {
-	if len(xs) == 0 {
-		panic("stats: Quantiles of empty slice")
-	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	out := make([]float64, len(ps))
-	for i, p := range ps {
-		if p < 0 || p > 100 {
-			panic(fmt.Sprintf("stats: percentile %v out of range", p))
-		}
-		out[i] = percentileSorted(cp, p)
-	}
-	return out
+	return NewSorted(xs).Quantiles(ps...)
 }
 
 // PaperPercentiles are the five percentile levels plotted throughout the

@@ -194,6 +194,57 @@ func TestQuantilesSingleSortConsistent(t *testing.T) {
 	}
 }
 
+func TestSortedMatchesSliceAPI(t *testing.T) {
+	src := rng.New(21)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = src.Float64() - 0.5
+	}
+	s := NewSorted(xs)
+	if got, want := s.Median(), Median(xs); got != want {
+		t.Errorf("Sorted.Median = %v, Median = %v", got, want)
+	}
+	if got, want := s.IQR(), IQR(xs); got != want {
+		t.Errorf("Sorted.IQR = %v, IQR = %v", got, want)
+	}
+	for _, p := range []float64{0, 1, 25, 50, 75, 99, 100} {
+		if got, want := s.Percentile(p), Percentile(xs, p); got != want {
+			t.Errorf("Sorted.Percentile(%v) = %v, Percentile = %v", p, got, want)
+		}
+	}
+	q := s.Quantiles(PaperPercentiles...)
+	for i, want := range Quantiles(xs, PaperPercentiles...) {
+		if q[i] != want {
+			t.Errorf("Sorted.Quantiles[%d] = %v, want %v", i, q[i], want)
+		}
+	}
+	// NewSorted copies: the caller's slice is untouched, and the sorted
+	// view is stable across queries.
+	if sort.Float64sAreSorted(xs) {
+		t.Error("input slice was sorted in place")
+	}
+	single := NewSorted([]float64{7})
+	if single.Percentile(3) != 7 || single.Median() != 7 {
+		t.Error("single-element Sorted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range percentile")
+			}
+		}()
+		s.Percentile(101)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for empty NewSorted")
+			}
+		}()
+		NewSorted(nil)
+	}()
+}
+
 func BenchmarkQuantiles(b *testing.B) {
 	src := rng.New(1)
 	xs := make([]float64, 100000)

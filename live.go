@@ -32,6 +32,7 @@ type Live struct {
 	client  *ntp.Client
 	conn    net.Conn
 	counter ntp.Counter
+	period  float64 // the counter's nominal period (s/cycle)
 	poll    time.Duration
 }
 
@@ -66,6 +67,7 @@ func DialLive(opts LiveOptions) (*Live, error) {
 		client:  ntp.NewClient(conn, counter, opts.Timeout),
 		conn:    conn,
 		counter: counter,
+		period:  clockOpts.NominalPeriod,
 		poll:    poll,
 	}, nil
 }
@@ -132,10 +134,51 @@ func (l *Live) RunAdaptive(ctx context.Context, p *Poller, onStep func(Status, e
 }
 
 // Now reads the absolute clock as a wall-clock time, resolving the NTP
-// era with the system clock as pivot.
+// era with the system clock as pivot. Lock-free, like all clock reads.
 func (l *Live) Now() time.Time {
 	sec := l.clock.AbsoluteTime(l.counter())
 	return ntp.Time64FromSeconds(sec).Time(time.Now())
+}
+
+// ServerSample returns an ntp.SampleClock that stamps downstream NTP
+// replies from this synchronized clock: the single-upstream relay
+// adapter. Each sample is a pure function of the latest published
+// readout — safe to call from every serving shard concurrently, with
+// no lock shared with the polling loop. While the clock is still in
+// warmup — or the upstream itself advertises an unsynchronized chain
+// (stratum ≥ 15) — the sample advertises LeapNotSynced/stratum 16 so
+// clients reject it; once calibrated it advertises the upstream
+// server's stratum + 1, the minimum path RTT as root delay, and a
+// dispersion grown from the readout's staleness at the standard
+// 15 PPM rate.
+func (l *Live) ServerSample(refID uint32) ntp.SampleClock {
+	precision := ntp.PrecisionFromPeriod(l.period)
+	return func() ntp.ClockSample {
+		T := l.counter()
+		r := l.clock.Readout()
+		s := ntp.ClockSample{
+			Time:      ntp.Time64FromSeconds(r.AbsoluteTime(T)),
+			RefID:     refID,
+			Precision: precision,
+		}
+		// Unsynced also when the upstream itself advertises stratum
+		// ≥ 15: a calibrated clock hanging off an unsynchronized chain
+		// must propagate that condition, not mask it as stratum 2.
+		upstreamDead := r.IdentKnown && r.Ident.Stratum >= ntp.StratumUnsynced-1
+		if !r.HaveTheta || r.Warmup || upstreamDead {
+			s.Leap = ntp.LeapNotSynced
+			s.Stratum = ntp.StratumUnsynced
+			return s
+		}
+		s.Leap = ntp.LeapNone
+		s.Stratum = 2 // identity unknown (simulated feeds): assume stratum-1 upstream
+		if r.IdentKnown && r.Ident.Stratum > 0 {
+			s.Stratum = r.Ident.Stratum + 1
+		}
+		s.RootDelay = ntp.Short32FromSeconds(r.RTTHat)
+		s.RootDisp = ntp.Short32FromSeconds(r.RTTHat/2 + ntp.DispersionRate*r.Age(T))
+		return s
+	}
 }
 
 // Close releases the UDP socket.

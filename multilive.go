@@ -50,6 +50,7 @@ type MultiLive struct {
 	clients []*ntp.Client
 	pollers []*Poller
 	counter ntp.Counter
+	period  float64 // the counter's nominal period (s/cycle)
 	poll    time.Duration
 }
 
@@ -104,6 +105,7 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 	m := &MultiLive{
 		ens:     ens,
 		counter: counter,
+		period:  clockOpts.NominalPeriod,
 		poll:    poll,
 	}
 	for _, addr := range opts.Servers {
@@ -175,10 +177,94 @@ func (m *MultiLive) Run(ctx context.Context, onStep func(server int, st Ensemble
 }
 
 // Now reads the combined absolute clock as a wall-clock time, resolving
-// the NTP era with the system clock as pivot.
+// the NTP era with the system clock as pivot. Lock-free, like all
+// ensemble reads.
 func (m *MultiLive) Now() time.Time {
 	sec := m.ens.AbsoluteTime(m.counter())
 	return ntp.Time64FromSeconds(sec).Time(time.Now())
+}
+
+// ServerSample returns an ntp.SampleClock that stamps downstream NTP
+// replies from the combined ensemble clock: the stratum-2 relay
+// adapter of cmd/ntpserver. Every sample is a pure function of the
+// latest published combined readout, so the serving shards stamp
+// concurrently with the upstream pollers without sharing a lock.
+//
+// Advertised health derives from the ensemble's published state:
+// LeapNotSynced/stratum 16 until the combine is calibrated (Synced);
+// then stratum = 1 + the lowest stratum among the voting upstream
+// servers (the selected set — or every ready server during the
+// documented mass-eviction transient; identities ride in on the NTP
+// payloads, and upstreams advertising stratum ≥ 15 — their own chain
+// unsynchronized — cannot lower the advertised stratum: if every
+// identified voting upstream is in that state, the relay re-advertises
+// unsynchronized rather than masking it), root delay = the lowest
+// voting minimum path RTT, and root
+// dispersion = the widest voting server's error scale grown by the
+// readout staleness at the standard 15 PPM rate — so a relay that has
+// lost its upstreams advertises an honestly growing error bound
+// instead of a stale confident one.
+func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
+	precision := ntp.PrecisionFromPeriod(m.period)
+	return func() ntp.ClockSample {
+		T := m.counter()
+		r := m.ens.Readout()
+		s := ntp.ClockSample{
+			Time:      ntp.Time64FromSeconds(r.AbsoluteTime(T)),
+			RefID:     refID,
+			Precision: precision,
+		}
+		if !r.Synced() {
+			s.Leap = ntp.LeapNotSynced
+			s.Stratum = ntp.StratumUnsynced
+			return s
+		}
+		minStratum := uint8(0)
+		anyIdent := false
+		minRTT, maxErr := 0.0, 0.0
+		haveRTT := false
+		for k := range r.Servers {
+			sr := &r.Servers[k]
+			if sr.Weight <= 0 {
+				continue
+			}
+			c := sr.Clock
+			if c.IdentKnown {
+				anyIdent = true
+				// Strata ≥ 15 mean the upstream's own chain is dead;
+				// such a server cannot lower our advertised stratum.
+				if c.Ident.Stratum > 0 && c.Ident.Stratum < ntp.StratumUnsynced-1 &&
+					(minStratum == 0 || c.Ident.Stratum < minStratum) {
+					minStratum = c.Ident.Stratum
+				}
+			}
+			if !haveRTT || c.RTTHat < minRTT {
+				minRTT, haveRTT = c.RTTHat, true
+			}
+			if sr.ErrScale > maxErr {
+				maxErr = sr.ErrScale
+			}
+		}
+		switch {
+		case minStratum > 0:
+			s.Stratum = minStratum + 1
+		case anyIdent:
+			// Every identified voting upstream advertises an
+			// unsynchronized chain: propagate the condition instead of
+			// masking it behind a confident stratum 2.
+			s.Leap = ntp.LeapNotSynced
+			s.Stratum = ntp.StratumUnsynced
+			return s
+		default:
+			s.Stratum = 2 // identities unknown (simulated feeds)
+		}
+		s.Leap = ntp.LeapNone
+		if haveRTT {
+			s.RootDelay = ntp.Short32FromSeconds(minRTT)
+		}
+		s.RootDisp = ntp.Short32FromSeconds(maxErr + ntp.DispersionRate*r.Age(T))
+		return s
+	}
 }
 
 // Close releases every UDP socket.

@@ -1,0 +1,85 @@
+package tscclock
+
+// Golden equivalence of the lock-free public read path against the
+// writer-side combiner on full sim scenarios: the public wrappers read
+// through published readouts now, and every answer must match what the
+// pre-refactor mutex path — a locked call into the internal writer-side
+// methods — would have returned at the same instant.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// TestEnsembleReadoutEquivalenceSim runs a multi-server sim scenario —
+// and the colluding-minority selection scenario — through the public
+// Ensemble and compares every lock-free read against the internal
+// writer-path methods after each exchange.
+func TestEnsembleReadoutEquivalenceSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sim traces")
+	}
+	scenarios := map[string]sim.MultiScenario{
+		"ensemble3": sim.NewMultiScenario(sim.MachineRoom,
+			[]sim.ServerSpec{sim.ServerLoc(), sim.ServerInt(), sim.ServerInt()},
+			16, 6*timebase.Hour, 42),
+		"colluding": sim.NewColludingScenario(sim.MachineRoom, 1.5*timebase.Millisecond,
+			16, 6*timebase.Hour, 43),
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			tr, err := sim.GenerateMulti(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEnsemble(EnsembleOptions{
+				Servers: len(sc.Servers),
+				Clock:   Options{NominalPeriod: 1.0 / 548655270, PollPeriod: 16},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ex := range tr.Completed() {
+				if _, err := e.ProcessNTPExchange(ex.Server, ex.Ta, ex.Tf, ex.Tb, ex.Te); err != nil {
+					t.Fatal(err)
+				}
+				// Public lock-free reads vs the internal writer path
+				// (what the mutex wrappers called before the refactor).
+				for _, T := range []uint64{ex.Tf, ex.Tf + 500000} {
+					if got, want := e.AbsoluteTime(T), e.ens.AbsoluteTime(T); got != want {
+						t.Fatalf("exchange %d: AbsoluteTime(%d): public %v, writer path %v", i, T, got, want)
+					}
+				}
+				if got, want := e.Period(), e.ens.RateHat(); got != want {
+					t.Fatalf("exchange %d: Period: public %v, writer path %v", i, got, want)
+				}
+				if got, want := e.Between(ex.Ta, ex.Tf), e.ens.DifferenceSpan(ex.Ta, ex.Tf); got != want {
+					t.Fatalf("exchange %d: Between: public %v, writer path %v", i, got, want)
+				}
+				if got, want := e.Exchanges(), e.ens.Exchanges(); got != want {
+					t.Fatalf("exchange %d: Exchanges: public %d, writer path %d", i, got, want)
+				}
+				if i%50 == 0 { // the heavier diagnostic reads, sampled
+					ws, wWant := e.Weights(), e.ens.Weights()
+					for k := range ws {
+						if ws[k] != wWant[k] {
+							t.Fatalf("exchange %d: Weights[%d]: public %v, writer path %v", i, k, ws[k], wWant[k])
+						}
+					}
+					st, stWant := e.ServerStates(), e.ens.ServerStates()
+					for k := range st {
+						if st[k] != stWant[k] {
+							t.Fatalf("exchange %d: ServerStates[%d]: public %+v, writer path %+v", i, k, st[k], stWant[k])
+						}
+					}
+					snap := e.ens.TakeSnapshot(ex.Tf)
+					if got := e.Readout().Agreement(ex.Tf); got != snap.Agreement {
+						t.Fatalf("exchange %d: Agreement: readout %d, snapshot %d", i, got, snap.Agreement)
+					}
+				}
+			}
+		})
+	}
+}

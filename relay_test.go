@@ -1,0 +1,217 @@
+package tscclock
+
+// The serving-layer end-to-end test: the complete stratum-2 relay data
+// flow of cmd/ntpserver on loopback — upstream stratum-1 servers →
+// MultiLive ensemble synchronization → sharded downstream serving from
+// the published readout → a real NTP client query against the shard
+// listeners. CI's serving job runs this under -race: the upstream
+// pollers write (publish readouts) while the shards read them
+// concurrently for every reply.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ntp"
+)
+
+// queryRelay performs one raw client-mode exchange against addr.
+func queryRelay(t *testing.T, addr net.Addr) ntp.Packet {
+	t.Helper()
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := ntp.Packet{Version: 4, Mode: ntp.ModeClient, Transmit: ntp.Time64FromTime(time.Now())}
+	wire := req.Marshal()
+	if _, err := conn.Write(wire[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [512]byte
+	n, err := conn.Read(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp ntp.Packet
+	if err := resp.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// startServerAtStratum runs a loopback NTP server advertising the
+// given stratum (e.g. 16: a server whose own chain is unsynchronized
+// but which still answers with plausible stamps).
+func startServerAtStratum(t *testing.T, stratum uint8) net.Addr {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ntp.NewServer(ntp.ServerConfig{Clock: ntp.SystemServerClock(), Stratum: stratum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(pc)
+	t.Cleanup(func() { pc.Close() })
+	return pc.LocalAddr()
+}
+
+// TestRelayPropagatesUnsyncedUpstream: upstreams that answer with
+// plausible stamps but advertise stratum 16 (their own chain is dead)
+// must not be re-served as a confident stratum 2 — the relay has to
+// propagate the unsynchronized condition, for both the single-clock
+// and the ensemble adapters.
+func TestRelayPropagatesUnsyncedUpstream(t *testing.T) {
+	deadA := startServerAtStratum(t, ntp.StratumUnsynced)
+	deadB := startServerAtStratum(t, ntp.StratumUnsynced)
+
+	l, err := DialLive(LiveOptions{Server: deadA.String(), Poll: 20 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ { // well past the 32-sample warmup
+		if _, err := l.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if s := l.ServerSample(ntp.RefIDFromString("TSCC"))(); s.Leap != ntp.LeapNotSynced || s.Stratum != ntp.StratumUnsynced {
+		t.Errorf("Live behind a stratum-16 upstream advertises leap=%d stratum=%d, want unsynced", s.Leap, s.Stratum)
+	}
+
+	m, err := DialMultiLive(MultiLiveOptions{
+		Servers: []string{deadA.String(), deadB.String()},
+		Poll:    20 * time.Millisecond,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 40; i++ {
+		for k := 0; k < 2; k++ {
+			if _, err := m.Step(k); err != nil {
+				t.Fatalf("server %d step %d: %v", k, i, err)
+			}
+		}
+	}
+	if !m.Ensemble().Readout().Synced() {
+		t.Fatal("ensemble did not calibrate (test harness lost its teeth)")
+	}
+	if s := m.ServerSample(ntp.RefIDFromString("TSCC"))(); s.Leap != ntp.LeapNotSynced || s.Stratum != ntp.StratumUnsynced {
+		t.Errorf("relay behind stratum-16 upstreams advertises leap=%d stratum=%d, want unsynced", s.Leap, s.Stratum)
+	}
+}
+
+func TestRelayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second loopback relay test")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Two upstream stratum-1 servers (the issue's minimum for a
+	// meaningful combine; three makes the majority vote stronger).
+	upstreams := []string{startServer(t).String(), startServer(t).String()}
+
+	ml, err := DialMultiLive(MultiLiveOptions{
+		Servers: upstreams,
+		Poll:    25 * time.Millisecond, // loopback: graduate warmup fast
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+
+	// Downstream serving: 4 shards stamping from the published readout.
+	srv, err := ntp.NewServer(ntp.ServerConfig{
+		Sample: ml.ServerSample(ntp.RefIDFromString("TSCC")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.ListenShards("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- sh.Serve(ctx) }()
+
+	// Before any upstream sync the relay must answer — NTP stays up —
+	// but advertise itself unsynchronized so clients reject it.
+	pre := queryRelay(t, sh.Addr())
+	if pre.Leap != ntp.LeapNotSynced || pre.Stratum != ntp.StratumUnsynced {
+		t.Errorf("unsynced relay advertised leap=%d stratum=%d, want %d/%d",
+			pre.Leap, pre.Stratum, ntp.LeapNotSynced, ntp.StratumUnsynced)
+	}
+
+	// Start the upstream pollers and wait for the combine to calibrate.
+	go ml.Run(ctx, nil)
+	deadline := time.Now().Add(30 * time.Second)
+	for !ml.Ensemble().Readout().Synced() {
+		if time.Now().After(deadline) {
+			r := ml.Ensemble().Readout()
+			t.Fatalf("ensemble never synced: %d exchanges, %d ready", r.Exchanges, r.ReadyCount)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A real NTP query against the shard listeners: stratum and leap
+	// must now derive from ensemble health (upstreams are stratum 1 →
+	// the relay serves stratum 2), and the transmitted time must track
+	// the OS clock the upstreams stamp from.
+	resp := queryRelay(t, sh.Addr())
+	if resp.Leap != ntp.LeapNone {
+		t.Errorf("synced relay leap = %d, want %d", resp.Leap, ntp.LeapNone)
+	}
+	if resp.Stratum != 2 {
+		t.Errorf("synced relay stratum = %d, want 2", resp.Stratum)
+	}
+	if resp.RefID != ntp.RefIDFromString("TSCC") {
+		t.Errorf("refid = %x", resp.RefID)
+	}
+	if d := resp.Transmit.Time(time.Now()).Sub(time.Now()); d > 50*time.Millisecond || d < -50*time.Millisecond {
+		t.Errorf("relay time differs from OS clock by %v", d)
+	}
+	if disp := resp.RootDisp.Seconds(); disp <= 0 || disp > 0.1 {
+		t.Errorf("root dispersion %v implausible for a loopback relay", disp)
+	}
+
+	// Also sync a full client clock against our own relay: the relay
+	// round-trips the whole pipeline (counter stamps → calibration →
+	// serving), so a downstream Live must calibrate against it too.
+	dl, err := DialLive(LiveOptions{Server: sh.Addr().String(), Poll: 25 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := dl.Step(); err != nil {
+			t.Fatalf("downstream step %d: %v", i, err)
+		}
+	}
+	if d := dl.Now().Sub(time.Now()); d > 100*time.Millisecond || d < -100*time.Millisecond {
+		t.Errorf("downstream client differs from OS clock by %v", d)
+	}
+
+	// Graceful shutdown: cancel drains the shards cleanly.
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve after cancel = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shards did not drain after cancellation")
+	}
+	st := srv.Stats()
+	if st.Replied < 7 { // 2 raw queries + 5 client steps
+		t.Errorf("Replied = %d, want ≥ 7", st.Replied)
+	}
+}

@@ -164,11 +164,15 @@ type Status struct {
 	Warmup              bool // still within the warmup phase
 }
 
-// Clock is the calibrated TSC-NTP clock. It is safe for concurrent use:
-// readers (AbsoluteTime, Between, ...) may run concurrently with the
-// synchronization feed.
+// Clock is the calibrated TSC-NTP clock. It is safe for concurrent
+// use, and reads never block: the synchronization feed publishes an
+// immutable read snapshot (core.Readout) through an atomic pointer
+// after every exchange, and every read method is a pure function of
+// the latest snapshot — no mutex is acquired on any read, under
+// unbounded reader concurrency. The mutex below serializes writers
+// (ProcessNTPExchange and friends) only.
 type Clock struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // serializes the synchronization feed, not reads
 	sync *core.Sync
 }
 
@@ -230,50 +234,49 @@ func statusFromResult(res core.Result, serverChanged bool) Status {
 	}
 }
 
+// Readout returns the latest published read snapshot: an immutable
+// value answering every clock read consistently, with a staleness
+// bound (Readout.Age). Hold it to take several reads from one instant
+// of calibration; call again to refresh. Never nil, never blocks.
+func (c *Clock) Readout() *core.Readout { return c.sync.Readout() }
+
 // AbsoluteTime reads the absolute clock Ca at a counter value: seconds
 // on the server's timescale (the simulation origin, or the NTP era on
 // the live path). Use it only when absolute timestamps are required;
 // the difference clock is more accurate for intervals (Section 2.2).
+// Lock-free: a pure function of the latest published readout.
 func (c *Clock) AbsoluteTime(counter uint64) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sync.AbsoluteTime(counter)
+	return c.sync.Readout().AbsoluteTime(counter)
 }
 
 // Between measures the interval between two counter readings with the
 // difference clock Cd: smooth, driven only by the rate estimate, and
 // the right tool for intervals below the SKM scale (~1000 s).
+// Lock-free.
 func (c *Clock) Between(c1, c2 uint64) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sync.DifferenceSpan(c1, c2)
+	return c.sync.Readout().DifferenceSpan(c1, c2)
 }
 
 // Period returns the current rate estimate (seconds per cycle).
+// Lock-free.
 func (c *Clock) Period() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, _ := c.sync.Clock()
-	return p
+	return c.sync.Readout().P
 }
 
 // Offset returns the current offset estimate θ̂ and whether one exists.
+// Lock-free.
 func (c *Clock) Offset() (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sync.Theta()
+	r := c.sync.Readout()
+	return r.Theta, r.HaveTheta
 }
 
 // MinRTT returns the current minimum round-trip-time estimate r̂.
+// Lock-free.
 func (c *Clock) MinRTT() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sync.RTTHat()
+	return c.sync.Readout().RTTHat
 }
 
-// Exchanges returns the number of exchanges processed.
+// Exchanges returns the number of exchanges processed. Lock-free.
 func (c *Clock) Exchanges() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sync.Count()
+	return c.sync.Readout().Count
 }
