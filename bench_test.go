@@ -14,6 +14,7 @@ package tscclock
 //	go test -bench . -benchmem
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -67,6 +68,43 @@ func BenchmarkBaselineSWNTP(b *testing.B) { benchExperiment(b, "baseline") }
 // (the fan-out throughput benchmark is BenchmarkEnsemble in
 // internal/ensemble).
 func BenchmarkEnsembleFault(b *testing.B) { benchExperiment(b, "ensemble") }
+
+// BenchmarkLongRun runs the multi-week streaming experiment in quick
+// mode, like every other experiment benchmark.
+func BenchmarkLongRun(b *testing.B) { benchExperiment(b, "longrun") }
+
+// BenchmarkLongRunDays is the memory-ceiling benchmark of the streaming
+// pipeline: the longrun experiment end to end (pull-based generation →
+// engine → online statistics → windowed series) at increasing trace
+// lengths, reporting throughput and the sampled peak-heap watermark.
+// The paper-scale claim under test: wall-clock grows with the packet
+// count, peak heap does not (it plateaus at the fixed accumulator
+// ceilings plus GC overshoot — see PERF.md for recorded curves).
+func BenchmarkLongRunDays(b *testing.B) {
+	for _, days := range []float64{1, 7, 21, 63} {
+		b.Run(fmt.Sprintf("days=%g", days), func(b *testing.B) {
+			peak := uint64(0)
+			packets := 0.0
+			for i := 0; i < b.N; i++ {
+				rep, err := experiments.Run("longrun", experiments.Options{LongRunDays: days})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range rep.Checks {
+					if !c.Pass {
+						b.Fatalf("check %q failed: want %s, got %s", c.Name, c.Want, c.Got)
+					}
+				}
+				if rep.PeakHeap > peak {
+					peak = rep.PeakHeap
+				}
+				packets += days * timebase.Day / 16
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/packets, "ns/packet")
+		})
+	}
+}
 
 // --- ablation benchmarks ---
 //

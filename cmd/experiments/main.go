@@ -7,6 +7,7 @@
 //	experiments -list
 //	experiments -run fig12
 //	experiments -run all -quick -out artifacts/
+//	experiments -run longrun -days 28 -out artifacts/
 //	experiments -perf
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		out   = flag.String("out", "", "directory for TSV artifacts (optional)")
 		plot  = flag.Bool("plot", false, "draw figure series as terminal charts")
 		perf  = flag.Bool("perf", false, "measure engine packet throughput and exit")
+		days  = flag.Float64("days", 0, "longrun trace length in days (0 = default 21; streams at constant memory)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, OutputDir: *out}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, OutputDir: *out, LongRunDays: *days}
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()

@@ -48,26 +48,16 @@ func Deviation(x []float64, tau0 float64, m int) (Point, error) {
 
 // Curve computes the Allan deviation over a logarithmic grid of scales
 // from tau0 up to the largest m the series supports, with the given
-// number of points per decade (4 is typical for stability plots).
+// number of points per decade (4 is typical for stability plots). The
+// grid is exactly CurveGrid's — streaming folds sized from the sample
+// count land on the identical scales.
 func Curve(x []float64, tau0 float64, perDecade int) ([]Point, error) {
-	if perDecade < 1 {
-		return nil, fmt.Errorf("allan: perDecade must be >= 1")
+	ms, err := CurveGrid(len(x), perDecade)
+	if err != nil {
+		return nil, err
 	}
-	maxM := (len(x) - 1) / 2
-	if maxM < 1 {
-		return nil, fmt.Errorf("allan: series too short (%d samples)", len(x))
-	}
-	var pts []Point
-	seen := map[int]bool{}
-	for e := 0.0; ; e += 1.0 / float64(perDecade) {
-		m := int(math.Pow(10, e) + 0.5)
-		if m > maxM {
-			break
-		}
-		if seen[m] {
-			continue
-		}
-		seen[m] = true
+	pts := make([]Point, 0, len(ms))
+	for _, m := range ms {
 		p, err := Deviation(x, tau0, m)
 		if err != nil {
 			return nil, err

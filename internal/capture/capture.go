@@ -33,6 +33,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/sim"
 )
@@ -132,6 +133,31 @@ func (w *Writer) Write(r Record) error {
 	}
 	w.n++
 	return nil
+}
+
+// WriteExchange appends one simulation exchange: the streaming entry
+// point for trace generation, which converts and writes records one at
+// a time so multi-week captures never hold a trace in memory.
+func (w *Writer) WriteExchange(e sim.Exchange) error {
+	return w.Write(FromExchange(e))
+}
+
+// CreateFile opens (creating parent directories) a capture file at path
+// and returns a record writer whose Close closes the file.
+func CreateFile(path string, meta Meta) (*Writer, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
 }
 
 // Count returns the number of records written.

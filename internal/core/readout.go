@@ -122,8 +122,7 @@ func (s *Sync) readout() Readout {
 // publish makes the current engine state visible to lock-free readers.
 // Called after every mutation (Process, ObserveIdentity re-base).
 func (s *Sync) publish() {
-	r := s.readout()
-	s.pub.Store(&r)
+	s.pub.Store(s.readout())
 }
 
 // Readout returns the most recently published read snapshot. It is
@@ -133,6 +132,35 @@ func (s *Sync) publish() {
 // construction.
 func (s *Sync) Readout() *Readout { return s.pub.Load() }
 
-// pubState is the atomic publication slot, split into its own struct
-// solely so sync.go stays focused on the algorithms.
-type pubState = atomic.Pointer[Readout]
+// pubSlabSize is how many publication slots one slab allocation hands
+// out. Each published readout must live in its own never-reused slot
+// (readers may hold the pointer indefinitely), so publication cannot be
+// allocation-free — but carving slots out of a block cuts the write
+// path from one heap allocation per packet to one per pubSlabSize
+// packets. The trade: a reader pinning one old readout keeps its whole
+// slab (≈ pubSlabSize·sizeof(Readout) ≈ 34 KiB) reachable.
+const pubSlabSize = 256
+
+// pubState is the atomic publication slot plus the writer-owned slab
+// the slots are carved from, split into its own type solely so sync.go
+// stays focused on the algorithms. Store is called only by the writer
+// (under the engine's external serialization); Load is wait-free from
+// any goroutine.
+type pubState struct {
+	p    atomic.Pointer[Readout]
+	slab []Readout
+}
+
+// Load returns the latest published snapshot.
+func (ps *pubState) Load() *Readout { return ps.p.Load() }
+
+// Store copies r into a fresh never-reused slot and publishes it.
+func (ps *pubState) Store(r Readout) {
+	if len(ps.slab) == 0 {
+		ps.slab = make([]Readout, pubSlabSize)
+	}
+	slot := &ps.slab[0]
+	ps.slab = ps.slab[1:]
+	*slot = r
+	ps.p.Store(slot)
+}

@@ -230,10 +230,8 @@ func (e *Ensemble) publish() {
 	for k := range raw {
 		total += raw[k]
 	}
-	ro := &Readout{
-		Servers: make([]ServerReadout, len(e.members)),
-		LastTf:  e.lastTf,
-	}
+	ro := e.pub.nextSlot(len(e.members))
+	ro.LastTf = e.lastTf
 	for k := range e.members {
 		m := &e.members[k]
 		sr := &ro.Servers[k]
@@ -281,7 +279,7 @@ func (e *Ensemble) publish() {
 	case len(ro.Servers) > 0:
 		ro.Rate = ro.Servers[0].Clock.P
 	}
-	e.pub.Store(ro)
+	e.pub.store(ro)
 }
 
 // Readout returns the most recently published combined snapshot. It is
@@ -289,5 +287,45 @@ func (e *Ensemble) publish() {
 // with the writer: the returned value is immutable and never nil.
 func (e *Ensemble) Readout() *Readout { return e.pub.Load() }
 
-// ensemblePub is the atomic publication slot type.
-type ensemblePub = atomic.Pointer[Readout]
+// pubSlabSize is how many publication slots one slab allocation hands
+// out; see the identically named constant in internal/core. Carving
+// slots from writer-owned blocks removes the two per-combine heap
+// allocations (the Readout and its Servers slice) in exchange for a
+// reader pinning at most one slab's worth of history (~pubSlabSize
+// combines) while it holds an old snapshot.
+const pubSlabSize = 256
+
+// ensemblePub is the atomic publication slot plus the writer-owned
+// slabs publication slots are carved from. nextSlot is called only by
+// the combine path (under the ensemble's writer mutex); Load is
+// wait-free from any goroutine.
+type ensemblePub struct {
+	p       atomic.Pointer[Readout]
+	roSlab  []Readout
+	srvSlab []ServerReadout
+}
+
+// Load returns the latest published snapshot.
+func (ep *ensemblePub) Load() *Readout { return ep.p.Load() }
+
+// nextSlot returns a zeroed, never-reused Readout with a Servers slice
+// of length nSrv, carved from the slabs. The caller fills it and then
+// publishes it with store.
+func (ep *ensemblePub) nextSlot(nSrv int) *Readout {
+	if len(ep.roSlab) == 0 {
+		ep.roSlab = make([]Readout, pubSlabSize)
+	}
+	ro := &ep.roSlab[0]
+	ep.roSlab = ep.roSlab[1:]
+	if len(ep.srvSlab) < nSrv {
+		ep.srvSlab = make([]ServerReadout, pubSlabSize*nSrv)
+	}
+	// Full-capacity reslice so appends by a confused caller could never
+	// bleed into the next combine's slots.
+	ro.Servers = ep.srvSlab[:nSrv:nSrv]
+	ep.srvSlab = ep.srvSlab[nSrv:]
+	return ro
+}
+
+// store publishes a slot obtained from nextSlot.
+func (ep *ensemblePub) store(ro *Readout) { ep.p.Store(ro) }

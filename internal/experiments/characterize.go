@@ -11,28 +11,85 @@ import (
 	"repro/internal/trace"
 )
 
-// detrendedOffsets computes the offset series of the uncorrected clock
-// against the DAG reference with the "detrending" period estimate of
-// Section 3.1: θ(t_i) = Tf_i·p̄ − Tg_i with p̄ chosen so first and last
-// offsets agree (forced to zero). With corrected=true the paper's
-// corrected receive stamps are used (Figure 3); otherwise the raw ones
-// (Figure 2, whose µs-scale irregularities the paper attributes to
-// exactly this).
-func detrendedOffsets(tr *sim.Trace, corrected bool) (ts, thetas []float64) {
-	ex := tr.Completed()
-	stamp := func(e sim.Exchange) uint64 {
-		if corrected {
-			return e.TfCorr
+// The detrended offset series of Section 3.1 — θ(t_i) = Tf_i·p̄ − Tg_i
+// with p̄ chosen so first and last offsets agree (forced to zero) — is
+// computed in two streaming passes: the anchors pass finds the first
+// and last completed exchange (p̄ needs both ends), then the emit pass
+// regenerates the identical stream and folds one (Tg, θ) pair at a
+// time. Nothing is materialized, so a multi-week characterization runs
+// at constant memory; the arithmetic is the one the old batch helper
+// performed, term for term. With corrected=true the paper's corrected
+// receive stamps are used (Figure 3); otherwise the raw ones (Figure 2,
+// whose µs-scale irregularities the paper attributes to exactly this).
+
+func detrendStamp(e sim.Exchange, corrected bool) uint64 {
+	if corrected {
+		return e.TfCorr
+	}
+	return e.Tf
+}
+
+// detrendAnchors streams the scenario once and returns its first and
+// last completed exchanges plus the detrending period p̄.
+func detrendAnchors(sc sim.Scenario, corrected bool) (first, last sim.Exchange, pBar float64, err error) {
+	st, err := sim.NewStream(sc)
+	if err != nil {
+		return sim.Exchange{}, sim.Exchange{}, 0, err
+	}
+	st.SetTrim(true)
+	n := 0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
 		}
-		return e.Tf
+		if e.Lost {
+			continue
+		}
+		if n == 0 {
+			first = e
+		}
+		last = e
+		n++
 	}
-	first, last := ex[0], ex[len(ex)-1]
-	pBar := (last.Tg - first.Tg) / float64(stamp(last)-stamp(first))
-	for _, e := range ex {
-		ts = append(ts, e.Tg)
-		thetas = append(thetas, float64(stamp(e)-stamp(first))*pBar-(e.Tg-first.Tg))
+	if n < 2 {
+		return sim.Exchange{}, sim.Exchange{}, 0, fmt.Errorf("experiments: %s: %d completed exchanges, need 2", sc.Name, n)
 	}
-	return ts, thetas
+	pBar = (last.Tg - first.Tg) / float64(detrendStamp(last, corrected)-detrendStamp(first, corrected))
+	return first, last, pBar, nil
+}
+
+// detrendStream streams the scenario a second time and emits each
+// completed exchange's (Tg, θ) to fn in order.
+func detrendStream(sc sim.Scenario, corrected bool, fn func(tg, theta float64) error) error {
+	first, _, pBar, err := detrendAnchors(sc, corrected)
+	if err != nil {
+		return err
+	}
+	return detrendEmit(sc, corrected, first, pBar, fn)
+}
+
+// detrendEmit is detrendStream's second pass with the anchors already
+// known, for callers that needed them to size downstream folds.
+func detrendEmit(sc sim.Scenario, corrected bool, first sim.Exchange, pBar float64, fn func(tg, theta float64) error) error {
+	st, err := sim.NewStream(sc)
+	if err != nil {
+		return err
+	}
+	st.SetTrim(true)
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return nil
+		}
+		if e.Lost {
+			continue
+		}
+		theta := float64(detrendStamp(e, corrected)-detrendStamp(first, corrected))*pBar - (e.Tg - first.Tg)
+		if err := fn(e.Tg, theta); err != nil {
+			return err
+		}
+	}
 }
 
 // runFig2 regenerates Figure 2: offset drift of the uncorrected TSC
@@ -44,41 +101,51 @@ func runFig2(opts Options) (*Report, error) {
 
 	for _, env := range []sim.Environment{sim.Laboratory, sim.MachineRoom} {
 		sc := sim.NewScenario(env, sim.ServerInt(), 16, dur, opts.seed())
-		tr, err := sim.Generate(sc)
+		sink, err := r.newSeries(opts, env.String(), "t_s", "offset_s")
 		if err != nil {
-			return nil, err
-		}
-		ts, thetas := detrendedOffsets(tr, false)
-
-		tab := trace.NewTable("t_s", "offset_s")
-		for i := range ts {
-			if i%8 == 0 {
-				if err := tab.Append(ts[i], thetas[i]); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if err := r.save(opts, env.String(), tab); err != nil {
 			return nil, err
 		}
 
 		// The cone check: from the detrended origin, |θ(t)| must stay
-		// within 0.1 PPM · elapsed (plus timestamping noise floor).
+		// within 0.1 PPM · elapsed (plus timestamping noise floor). The
+		// 1000 s SKM head is the one bounded buffer (its size is set by
+		// the poll period, not the trace length); everything else folds.
 		cone := timebase.FromPPM(0.1)
 		floor := 25 * timebase.Microsecond
 		worstRatio := 0.0
 		maxAbs := 0.0
-		for i := range ts {
-			el := ts[i] - ts[0]
-			if el < 1000 {
-				continue
+		var t0 float64
+		var headTs, headTh []float64
+		i := 0
+		err = detrendStream(sc, false, func(tg, theta float64) error {
+			if i == 0 {
+				t0 = tg
 			}
-			if a := math.Abs(thetas[i]); a > maxAbs {
+			if i%8 == 0 {
+				if err := sink.Append(tg, theta); err != nil {
+					return err
+				}
+			}
+			i++
+			el := tg - t0
+			if el < 1000 {
+				headTs = append(headTs, tg)
+				headTh = append(headTh, theta)
+				return nil
+			}
+			if a := math.Abs(theta); a > maxAbs {
 				maxAbs = a
 			}
-			if ratio := math.Abs(thetas[i]) / (cone*el + floor); ratio > worstRatio {
+			if ratio := math.Abs(theta) / (cone*el + floor); ratio > worstRatio {
 				worstRatio = ratio
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sink.Close(); err != nil {
+			return nil, err
 		}
 		r.addLine("%-4s max |offset drift| %s over %s (worst cone ratio %.2f)",
 			env, timebase.FormatDuration(maxAbs), timebase.FormatDuration(dur), worstRatio)
@@ -87,11 +154,7 @@ func runFig2(opts Options) (*Report, error) {
 
 		// Over the first 1000 s the SKM holds: the residual after the
 		// best local linear fit is dominated by µs timestamping noise.
-		n1000 := 0
-		for n1000 < len(ts) && ts[n1000]-ts[0] < 1000 {
-			n1000++
-		}
-		res := maxResidualAfterLinearFit(ts[:n1000], thetas[:n1000])
+		res := maxResidualAfterLinearFit(headTs, headTh)
 		r.addLine("%-4s SKM residual over first 1000s: %s", env, timebase.FormatDuration(res))
 		r.addCheck(fmt.Sprintf("%s SKM residual (1000s) < 30µs", env),
 			"< 30µs", timebase.FormatDuration(res), res < 30*timebase.Microsecond)
@@ -152,19 +215,38 @@ func runFig3(opts Options) (*Report, error) {
 	curves := map[string][]allan.Point{}
 	for i, c := range cases {
 		sc := sim.NewScenario(c.env, c.spec, 16, dur, opts.seed()+uint64(100+i))
-		tr, err := sim.Generate(sc)
+		// Streaming stability analysis: the anchors pass sizes the
+		// batch-identical scale grid from the trace's time span, then the
+		// emit pass pushes each detrended offset through the resampler
+		// straight into the online Allan fold — the series is never
+		// resident, and the fold's ring is bounded by the largest scale.
+		first, last, pBar, err := detrendAnchors(sc, true)
 		if err != nil {
 			return nil, err
 		}
-		ts, thetas := detrendedOffsets(tr, true)
-		uniform, err := allan.Resample(ts, thetas, sc.PollPeriod)
+		nUniform := int((last.Tg-first.Tg)/sc.PollPeriod) + 1
+		grid, err := allan.CurveGrid(nUniform, 4)
 		if err != nil {
 			return nil, err
 		}
-		pts, err := allan.Curve(uniform, sc.PollPeriod, 4)
+		fold, err := allan.NewFold(sc.PollPeriod, grid)
 		if err != nil {
 			return nil, err
 		}
+		res, err := allan.NewResampler(sc.PollPeriod, func(v float64) error {
+			fold.Add(v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := detrendEmit(sc, true, first, pBar, res.Push); err != nil {
+			return nil, err
+		}
+		if err := res.Finish(); err != nil {
+			return nil, err
+		}
+		pts := fold.Points()
 		curves[c.name] = pts
 
 		tab := trace.NewTable("tau_s", "allan_dev")
@@ -261,18 +343,25 @@ func devNear(pts []allan.Point, tau float64) float64 {
 func runFig4(opts Options) (*Report, error) {
 	r := newReport("fig4", Title("fig4"))
 	sc := sim.NewScenario(sim.MachineRoom, sim.ServerLoc(), 16, 1100*16, opts.seed())
-	tr, err := sim.Generate(sc)
+	// The figure wants exactly 1000 successive packets: pull them from
+	// the stream and stop — the bounded sample is the working set, and
+	// the generator never runs past what the figure consumes.
+	st, err := sim.NewStream(sc)
 	if err != nil {
 		return nil, err
 	}
-	ex := tr.Completed()
-	if len(ex) > 1000 {
-		ex = ex[:1000]
-	}
+	st.SetTrim(true)
 
 	var back, srv []float64
 	tab := trace.NewTable("te_s", "backward_delay_s", "server_delay_s")
-	for _, e := range ex {
+	for len(back) < 1000 {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if e.Lost {
+			continue
+		}
 		b := e.Tg - e.Te
 		s := e.Te - e.Tb
 		back = append(back, b)

@@ -30,7 +30,12 @@ type Options struct {
 	// shapes under test survive; the statistics get noisier.
 	Quick bool
 	// OutputDir, when non-empty, receives TSV artifacts of each series.
+	// Streamed series write row by row as the experiment runs; only a
+	// bounded decimated preview is kept in memory for plotting.
 	OutputDir string
+	// LongRunDays overrides the longrun experiment's trace length in
+	// days (0 = the default 21; Quick scaling still applies).
+	LongRunDays float64
 }
 
 func (o Options) seed() uint64 {
@@ -72,6 +77,11 @@ type Report struct {
 	Lines  []string
 	Checks []Check
 	Tables map[string]*trace.Table
+
+	// PeakHeap is the peak live-heap watermark (bytes) sampled while
+	// the experiment ran. Only streaming experiments that sample it set
+	// it (longrun); the constant-memory regression gates read it.
+	PeakHeap uint64
 }
 
 func newReport(id, title string) *Report {
@@ -160,6 +170,7 @@ func init() {
 		{"ablation", "Contribution of each design mechanism", runAblation},
 		{"ensemble", "Faulty-server containment by the multi-server ensemble clock", runEnsemble},
 		{"select", "Colluding-minority rejection by interval-intersection selection", runSelect},
+		{"longrun", "Multi-week streaming run: windowed error and online Allan series", runLongRun},
 	}
 }
 
@@ -243,10 +254,7 @@ func defaultCfg(poll float64) core.Config {
 // fiveNumLine renders a five-number summary in µs, matching the
 // percentile curves of Figures 9 and 10.
 func fiveNumLine(label string, errs []float64) string {
-	fn := stats.FiveNumOf(errs)
-	toUs := func(v float64) float64 { return v / timebase.Microsecond }
-	return fmt.Sprintf("%-14s p01=%8.1fµs p25=%8.1fµs p50=%8.1fµs p75=%8.1fµs p99=%8.1fµs",
-		label, toUs(fn.P01), toUs(fn.P25), toUs(fn.P50), toUs(fn.P75), toUs(fn.P99))
+	return fiveNumFmt(label, stats.FiveNumOf(errs))
 }
 
 // medianAbs returns the median of |xs| via stats — one sort, and the
@@ -260,4 +268,134 @@ func medianAbs(xs []float64) float64 {
 		cp[i] = math.Abs(x)
 	}
 	return stats.NewSorted(cp).Median()
+}
+
+// --- streaming harness ---
+//
+// The helpers below are the streaming counterparts of engineRun and
+// friends: experiments built on them never materialize a trace or a
+// result slice. A scenario is generated as a pull stream (bit-identical
+// to sim.Generate, with the oscillator cache trimmed behind the
+// emission front), each completed exchange is pushed through a fresh
+// engine, and the per-packet callback folds whatever the report needs
+// into online accumulators (internal/stats) and row-streamed TSV sinks.
+// Peak memory is set by the engine's windows and the accumulators —
+// independent of trace length.
+
+// streamRun generates sc as a stream and feeds every completed exchange
+// through a fresh engine built from cfg, invoking fn per packet. It
+// returns the stream (for oracle references such as Osc().MeanPeriod())
+// after the full pass.
+func streamRun(sc sim.Scenario, cfg core.Config, fn func(e sim.Exchange, res core.Result) error) (*sim.Stream, error) {
+	st, err := sim.NewStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	st.SetTrim(true)
+	s, err := core.NewSync(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return st, nil
+		}
+		if e.Lost {
+			continue
+		}
+		res, err := s.Process(core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: process seq %d: %w", e.Seq, err)
+		}
+		if err := fn(e, res); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// offsetErrOf computes θ̂ − θ_g for one packet: the single-exchange form
+// of offsetErrors.
+func offsetErrOf(res core.Result, e sim.Exchange) float64 {
+	thetaG := float64(e.Tf)*res.ClockP + res.ClockC - e.Tg
+	return res.ThetaHat - thetaG
+}
+
+// fiveNumFmt renders a five-number summary in µs; fiveNumLine is its
+// batch-slice wrapper.
+func fiveNumFmt(label string, fn stats.FiveNum) string {
+	toUs := func(v float64) float64 { return v / timebase.Microsecond }
+	return fmt.Sprintf("%-14s p01=%8.1fµs p25=%8.1fµs p50=%8.1fµs p75=%8.1fµs p99=%8.1fµs",
+		label, toUs(fn.P01), toUs(fn.P25), toUs(fn.P50), toUs(fn.P75), toUs(fn.P99))
+}
+
+// previewCap bounds the in-memory preview of a streamed series: when a
+// series outgrows it, every other retained row is dropped and the keep
+// stride doubles, so plotting sees a uniform decimation at bounded
+// memory no matter how long the series runs.
+const previewCap = 4096
+
+// seriesSink streams a per-packet series: rows go to a TSV file as they
+// are appended (when an output directory is configured) and to a
+// bounded decimated preview table registered with the report on Close,
+// so `-plot` keeps working without the series ever being resident.
+type seriesSink struct {
+	rep     *Report
+	name    string
+	file    *trace.Writer
+	preview *trace.Table
+	cols    []string
+	stride  int
+	seen    int
+}
+
+// newSeries opens a streamed series artifact on the report.
+func (r *Report) newSeries(opts Options, name string, cols ...string) (*seriesSink, error) {
+	s := &seriesSink{
+		rep: r, name: name, cols: cols,
+		preview: trace.NewTable(cols...), stride: 1,
+	}
+	if opts.OutputDir != "" {
+		w, err := trace.Create(fmt.Sprintf("%s/%s_%s.tsv", opts.OutputDir, r.ID, name), cols...)
+		if err != nil {
+			return nil, err
+		}
+		s.file = w
+	}
+	return s, nil
+}
+
+// Append adds one row to the streamed file and (subsampled) preview.
+func (s *seriesSink) Append(vals ...float64) error {
+	if s.file != nil {
+		if err := s.file.Append(vals...); err != nil {
+			return err
+		}
+	}
+	if s.seen%s.stride == 0 {
+		if s.preview.Len() >= previewCap {
+			compact := trace.NewTable(s.cols...)
+			for i := 0; i < s.preview.Len(); i += 2 {
+				if err := compact.Append(s.preview.Row(i)...); err != nil {
+					return err
+				}
+			}
+			s.preview = compact
+			s.stride *= 2
+		}
+		if err := s.preview.Append(vals...); err != nil {
+			return err
+		}
+	}
+	s.seen++
+	return nil
+}
+
+// Close flushes the file and registers the preview with the report.
+func (s *seriesSink) Close() error {
+	s.rep.Tables[s.name] = s.preview
+	if s.file != nil {
+		return s.file.Close()
+	}
+	return nil
 }

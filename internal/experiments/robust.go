@@ -1,9 +1,19 @@
 package experiments
 
+// The robustness experiments (Figures 11a–d, 12, and the SW-NTP
+// baseline) run on the streaming harness: scenarios are regenerated as
+// pull streams, every per-packet quantity folds into online
+// accumulators or latches as it passes, and series artifacts row-stream
+// to disk through seriesSink. Figure 12 is the one two-pass case: its
+// histogram needs coverage bounds that are only known after a full
+// quantile pass, so the identical stream is generated twice — the
+// memory ceiling stays flat in the trace length either way.
+
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -24,44 +34,42 @@ func runFig11a(opts Options) (*Report, error) {
 	}
 	sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), 64, dur, opts.seed())
 	sc.Gaps = []sim.Gap{{From: gapStart, To: gapEnd}}
-	tr, err := sim.Generate(sc)
-	if err != nil {
-		return nil, err
-	}
-	results, ex, err := engineRun(tr, defaultCfg(64))
-	if err != nil {
-		return nil, err
-	}
-	errs := offsetErrors(results, ex)
 
-	tab := trace.NewTable("tb_day", "offset_err_us")
-	for k := range results {
-		if err := tab.Append(ex[k].Tb/timebase.Day, errs[k]/1e-6); err != nil {
-			return nil, err
-		}
-	}
-	if err := r.save(opts, "series", tab); err != nil {
+	sink, err := r.newSeries(opts, "series", "tb_day", "offset_err_us")
+	if err != nil {
 		return nil, err
 	}
 
 	// Error at the last packet before the gap, the first after, and
-	// after 30 minutes of recovery data.
-	var preGap, firstAfter, recovered float64
+	// after 30 minutes of recovery data — all latched in stream order.
+	var preGap, firstAfter, recovered, lastPHat float64
 	var tFirstAfter float64
-	havePost := false
-	for k := range results {
-		t := ex[k].TrueTf
+	havePost, haveRecovered := false, false
+	st, err := streamRun(sc, defaultCfg(64), func(e sim.Exchange, res core.Result) error {
+		errV := offsetErrOf(res, e)
+		if err := sink.Append(e.Tb/timebase.Day, errV/1e-6); err != nil {
+			return err
+		}
+		t := e.TrueTf
 		if t < gapStart {
-			preGap = errs[k]
+			preGap = errV
 		}
 		if t > gapEnd && !havePost {
-			firstAfter, tFirstAfter = errs[k], t
+			firstAfter, tFirstAfter = errV, t
 			havePost = true
 		}
-		if havePost && t > tFirstAfter+30*timebase.Minute {
-			recovered = errs[k]
-			break
+		if havePost && !haveRecovered && t > tFirstAfter+30*timebase.Minute {
+			recovered = errV
+			haveRecovered = true
 		}
+		lastPHat = res.PHat
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
 	}
 	r.addLine("gap %.1f days: error before %s, first after %s, after 30min %s",
 		(gapEnd-gapStart)/timebase.Day,
@@ -75,8 +83,8 @@ func runFig11a(opts Options) (*Report, error) {
 		timebase.FormatDuration(recovered), math.Abs(recovered) <= 150*timebase.Microsecond)
 	// The rate estimate's validity across the gap is what makes this
 	// possible: no warm-up is needed (Section 5.2).
-	trueP := tr.Osc.MeanPeriod()
-	finalRate := math.Abs(results[len(results)-1].PHat/trueP - 1)
+	trueP := st.Osc().MeanPeriod()
+	finalRate := math.Abs(lastPHat/trueP - 1)
 	r.addCheck("rate estimate survives the gap", "≤0.1 PPM",
 		fmt.Sprintf("%.4f PPM", timebase.PPM(finalRate)), finalRate <= timebase.FromPPM(0.1))
 	return r, nil
@@ -93,48 +101,44 @@ func runFig11b(opts Options) (*Report, error) {
 	sc.Server.Server.Faults = []netem.FaultWindow{
 		{From: faultAt, To: faultAt + 4*timebase.Minute, Offset: 150 * timebase.Millisecond},
 	}
-	tr, err := sim.Generate(sc)
-	if err != nil {
-		return nil, err
-	}
-	results, ex, err := engineRun(tr, defaultCfg(16))
-	if err != nil {
-		return nil, err
-	}
-	errs := offsetErrors(results, ex)
 
-	tab := trace.NewTable("tb_day", "offset_err_us", "sanity")
+	sink, err := r.newSeries(opts, "series", "tb_day", "offset_err_us", "sanity")
+	if err != nil {
+		return nil, err
+	}
 	sanityCount := 0
-	maxDamage := 0.0
-	for k, res := range results {
+	maxDamage, lastErr := 0.0, 0.0
+	if _, err := streamRun(sc, defaultCfg(16), func(e sim.Exchange, res core.Result) error {
+		errV := offsetErrOf(res, e)
 		s := 0.0
 		if res.OffsetSanityTriggered {
 			s = 1
 			sanityCount++
 		}
-		if ex[k].TrueTf > timebase.Hour {
-			if a := math.Abs(errs[k]); a > maxDamage {
+		if e.TrueTf > timebase.Hour {
+			if a := math.Abs(errV); a > maxDamage {
 				maxDamage = a
 			}
 		}
-		if err := tab.Append(ex[k].Tb/timebase.Day, errs[k]/1e-6, s); err != nil {
-			return nil, err
-		}
+		lastErr = errV
+		return sink.Append(e.Tb/timebase.Day, errV/1e-6, s)
+	}); err != nil {
+		return nil, err
 	}
-	if err := r.save(opts, "series", tab); err != nil {
+	if err := sink.Close(); err != nil {
 		return nil, err
 	}
 
 	r.addLine("sanity check fired on %d packets; max |err| %s; final |err| %s",
 		sanityCount, timebase.FormatDuration(maxDamage),
-		timebase.FormatDuration(math.Abs(errs[len(errs)-1])))
+		timebase.FormatDuration(math.Abs(lastErr)))
 	r.addCheck("sanity check triggered", "≥1 packet",
 		fmt.Sprint(sanityCount), sanityCount >= 1)
 	r.addCheck("damage limited to ~a millisecond", "max ≤ 4ms vs 150ms fault",
 		timebase.FormatDuration(maxDamage), maxDamage <= 4*timebase.Millisecond)
 	r.addCheck("healed by end of trace", "|err| ≤ 300µs",
-		timebase.FormatDuration(math.Abs(errs[len(errs)-1])),
-		math.Abs(errs[len(errs)-1]) <= 300*timebase.Microsecond)
+		timebase.FormatDuration(math.Abs(lastErr)),
+		math.Abs(lastErr) <= 300*timebase.Microsecond)
 	return r, nil
 }
 
@@ -155,41 +159,47 @@ func runFig11c(opts Options) (*Report, error) {
 		{At: tempAt, Delta: 0.9 * timebase.Millisecond, Duration: tempDur},
 		{At: permAt, Delta: 0.9 * timebase.Millisecond},
 	}
-	tr, err := sim.Generate(sc)
-	if err != nil {
-		return nil, err
-	}
-	results, ex, err := engineRun(tr, cfg)
-	if err != nil {
-		return nil, err
-	}
-	errs := offsetErrors(results, ex)
 
-	tab := trace.NewTable("tb_day", "offset_err_us", "shift_detected")
+	sink, err := r.newSeries(opts, "series", "tb_day", "offset_err_us", "shift_detected")
+	if err != nil {
+		return nil, err
+	}
+	// Median error well before vs well after the permanent shift. The
+	// "before" window is fixed a priori; the "after" window opens two
+	// hours past the detection, which the stream reveals in time order —
+	// everything later in the pass can test against it directly.
+	before := stats.NewStreamingQuantiles(0.5)
+	after := stats.NewStreamingQuantiles(0.5)
 	var detections []float64
-	for k, res := range results {
+	tempDetected := false
+	permDetectedAt := math.Inf(1)
+	if _, err := streamRun(sc, cfg, func(e sim.Exchange, res core.Result) error {
+		errV := offsetErrOf(res, e)
+		t := e.TrueTf
 		d := 0.0
 		if res.UpwardShiftDetected {
 			d = 1
-			detections = append(detections, ex[k].TrueTf)
+			detections = append(detections, t)
+			if t < permAt {
+				tempDetected = true
+			} else if t < permDetectedAt {
+				permDetectedAt = t
+			}
 		}
-		if err := tab.Append(ex[k].Tb/timebase.Day, errs[k]/1e-6, d); err != nil {
-			return nil, err
+		switch {
+		case t > tempAt+2*tempDur && t < permAt-timebase.Hour:
+			before.Add(errV)
+		case t > permDetectedAt+2*timebase.Hour:
+			after.Add(errV)
 		}
+		return sink.Append(e.Tb/timebase.Day, errV/1e-6, d)
+	}); err != nil {
+		return nil, err
 	}
-	if err := r.save(opts, "series", tab); err != nil {
+	if err := sink.Close(); err != nil {
 		return nil, err
 	}
 
-	tempDetected := false
-	permDetectedAt := math.Inf(1)
-	for _, t := range detections {
-		if t < permAt {
-			tempDetected = true
-		} else if t < permDetectedAt {
-			permDetectedAt = t
-		}
-	}
 	r.addLine("detections at: %v (temp shift at %.2fd for %s, perm at %.2fd)",
 		detections, tempAt/timebase.Day, timebase.FormatDuration(tempDur), permAt/timebase.Day)
 	r.addCheck("temporary shift (<Ts) never detected", "no detection before perm shift",
@@ -198,23 +208,12 @@ func runFig11c(opts Options) (*Report, error) {
 		timebase.FormatDuration(permDetectedAt-permAt),
 		permDetectedAt-permAt > 0 && permDetectedAt-permAt <= 1.5*cfg.ShiftWindow)
 
-	// Median error well before vs well after the permanent shift: the
-	// jump is ≈ Δshift/2 (asymmetry change), directed negative since the
-	// forward minimum grew.
-	var before, after []float64
-	for k := range errs {
-		t := ex[k].TrueTf
-		switch {
-		case t > tempAt+2*tempDur && t < permAt-timebase.Hour:
-			before = append(before, errs[k])
-		case t > permDetectedAt+2*timebase.Hour:
-			after = append(after, errs[k])
-		}
-	}
-	jump := stats.Median(after) - stats.Median(before)
+	// The jump is ≈ Δshift/2 (asymmetry change), directed negative since
+	// the forward minimum grew.
+	jump := after.Value(0) - before.Value(0)
 	r.addLine("median error before %s, after %s (jump %s; Δ/2 = −450µs)",
-		timebase.FormatDuration(stats.Median(before)),
-		timebase.FormatDuration(stats.Median(after)), timebase.FormatDuration(jump))
+		timebase.FormatDuration(before.Value(0)),
+		timebase.FormatDuration(after.Value(0)), timebase.FormatDuration(jump))
 	r.addCheck("post-shift jump ≈ −Δshift/2", "−650µs…−250µs",
 		timebase.FormatDuration(jump), jump > -650e-6 && jump < -250e-6)
 	return r, nil
@@ -231,53 +230,43 @@ func runFig11d(opts Options) (*Report, error) {
 	sc := sim.NewScenario(sim.MachineRoom, sim.ServerExt(), 64, dur, opts.seed())
 	sc.Server.Forward.Shifts = []netem.Shift{{At: shiftAt, Delta: delta}}
 	sc.Server.Backward.Shifts = []netem.Shift{{At: shiftAt, Delta: delta}}
-	tr, err := sim.Generate(sc)
+
+	sink, err := r.newSeries(opts, "series", "tb_day", "offset_err_us", "rtt_hat_ms")
 	if err != nil {
 		return nil, err
 	}
-	results, ex, err := engineRun(tr, defaultCfg(64))
-	if err != nil {
-		return nil, err
-	}
-	errs := offsetErrors(results, ex)
-
-	tab := trace.NewTable("tb_day", "offset_err_us", "rtt_hat_ms")
-	for k, res := range results {
-		if err := tab.Append(ex[k].Tb/timebase.Day, errs[k]/1e-6, res.RTTHat/1e-3); err != nil {
-			return nil, err
-		}
-	}
-	if err := r.save(opts, "series", tab); err != nil {
-		return nil, err
-	}
-
 	upward := 0
-	for _, res := range results {
+	// r̂ must absorb the 0.36 ms total downward move promptly.
+	rHatAfter, haveRHat := 0.0, false
+	before := stats.NewStreamingQuantiles(0.5)
+	after := stats.NewStreamingQuantiles(0.5)
+	settle := math.Min(3*timebase.Hour, shiftAt/2)
+	afterFrom := shiftAt + math.Min(timebase.Hour, (dur-shiftAt)/4)
+	if _, err := streamRun(sc, defaultCfg(64), func(e sim.Exchange, res core.Result) error {
+		errV := offsetErrOf(res, e)
+		t := e.TrueTf
 		if res.UpwardShiftDetected {
 			upward++
 		}
-	}
-	// r̂ must absorb the 0.36 ms total downward move promptly.
-	var rHatAfter float64
-	for k, res := range results {
-		if ex[k].TrueTf > shiftAt+2*timebase.Hour {
-			rHatAfter = res.RTTHat
-			break
+		if !haveRHat && t > shiftAt+2*timebase.Hour {
+			rHatAfter, haveRHat = res.RTTHat, true
 		}
-	}
-	wantRTT := tr.Scenario.Server.MinRTT() + 2*delta
-	var before, after []float64
-	settle := math.Min(3*timebase.Hour, shiftAt/2)
-	for k := range errs {
-		t := ex[k].TrueTf
 		switch {
 		case t > settle && t < shiftAt:
-			before = append(before, errs[k])
-		case t > shiftAt+math.Min(timebase.Hour, (dur-shiftAt)/4):
-			after = append(after, errs[k])
+			before.Add(errV)
+		case t > afterFrom:
+			after.Add(errV)
 		}
+		return sink.Append(e.Tb/timebase.Day, errV/1e-6, res.RTTHat/1e-3)
+	}); err != nil {
+		return nil, err
 	}
-	shiftOfMedian := stats.Median(after) - stats.Median(before)
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+
+	wantRTT := sc.Server.MinRTT() + 2*delta
+	shiftOfMedian := after.Value(0) - before.Value(0)
 	r.addLine("r̂ after shift %s (want ≈ %s); median error moved by %s",
 		timebase.FormatDuration(rHatAfter), timebase.FormatDuration(wantRTT),
 		timebase.FormatDuration(shiftOfMedian))
@@ -294,7 +283,10 @@ func runFig11d(opts Options) (*Report, error) {
 
 // runFig12 regenerates Figure 12: offset error distribution over a
 // 3-month run at the standard polling periods 64 and 256, reported as
-// the 99%-coverage histogram with median and IQR.
+// the 99%-coverage histogram with median and IQR. Two streaming passes
+// per polling period: quantiles first (the histogram range is the 99%
+// coverage interval, known only after a full pass), then the identical
+// stream again to fill the fixed bins.
 func runFig12(opts Options) (*Report, error) {
 	r := newReport("fig12", Title("fig12"))
 	dur := 13 * timebase.Week
@@ -315,23 +307,32 @@ func runFig12(opts Options) (*Report, error) {
 				{From: 45 * timebase.Day, To: 48.8 * timebase.Day},
 			}
 		}
-		tr, err := sim.Generate(sc)
-		if err != nil {
+		// Pass 1: median, quartiles and the 0.5/99.5 coverage bounds.
+		q := stats.NewStreamingQuantiles(0.005, 0.25, 0.5, 0.75, 0.995)
+		if _, err := streamRun(sc, defaultCfg(poll), func(e sim.Exchange, res core.Result) error {
+			if e.TrueTf > 3*timebase.Hour {
+				q.Add(offsetErrOf(res, e))
+			}
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		results, ex, err := engineRun(tr, defaultCfg(poll))
-		if err != nil {
-			return nil, err
-		}
-		settled := afterWarmup(offsetErrors(results, ex), ex, 3*timebase.Hour)
-
-		med := stats.Median(settled)
-		iqr := stats.IQR(settled)
+		med := q.Value(2)
+		iqr := q.Value(3) - q.Value(1)
+		lo, hi := q.Value(0), q.Value(4)
 		outcomes[poll] = outcome{med: med, iqr: iqr}
 
-		lo, hi := stats.CoverageBounds(settled, 0.99)
-		hist, err := stats.NewHistogram(settled, lo, hi+1e-12, 40)
+		// Pass 2: fill the histogram over the now-known range.
+		hist, err := stats.NewHistogram(nil, lo, hi+1e-12, 40)
 		if err != nil {
+			return nil, err
+		}
+		if _, err := streamRun(sc, defaultCfg(poll), func(e sim.Exchange, res core.Result) error {
+			if e.TrueTf > 3*timebase.Hour {
+				hist.Add(offsetErrOf(res, e))
+			}
+			return nil
+		}); err != nil {
 			return nil, err
 		}
 		tab := trace.NewTable("offset_err_us", "fraction")
@@ -363,7 +364,9 @@ func runFig12(opts Options) (*Report, error) {
 // runBaseline runs the SW-NTP discipline on the same traces as the core
 // engine: the implicit comparison of the whole paper. The TSC-NTP clock
 // must win by a large factor in steady state and, unlike SW-NTP, must
-// not reset on a large server fault.
+// not reset on a large server fault. Both estimators consume the same
+// stream in one interleaved pass — each engine's state depends only on
+// its own inputs, so this is packet-for-packet the old two-run batch.
 func runBaseline(opts Options) (*Report, error) {
 	r := newReport("baseline", Title("baseline"))
 	dur := opts.scale(timebase.Week)
@@ -374,50 +377,60 @@ func runBaseline(opts Options) (*Report, error) {
 	sc.Server.Server.Faults = []netem.FaultWindow{
 		{From: faultAt, To: faultAt + 45*timebase.Minute, Offset: 150 * timebase.Millisecond},
 	}
-	tr, err := sim.Generate(sc)
+
+	sw, err := swntp.New(swntp.DefaultConfig(1.0/548655270, 64))
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.NewStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	st.SetTrim(true)
+	s, err := core.NewSync(defaultCfg(64))
+	if err != nil {
+		return nil, err
+	}
+	sink, err := r.newSeries(opts, "comparison", "tb_day", "swntp_err_us", "tsc_err_us")
 	if err != nil {
 		return nil, err
 	}
 
-	// Core engine.
-	results, ex, err := engineRun(tr, defaultCfg(64))
-	if err != nil {
-		return nil, err
-	}
-	coreErrs := afterWarmup(offsetErrors(results, ex), ex, 3*timebase.Hour)
-	coreMed := medianAbs(coreErrs)
-
-	// SW-NTP baseline: absolute clock error at each packet arrival.
-	swCfg := swntp.DefaultConfig(1.0/548655270, 64)
-	sw, err := swntp.New(swCfg)
-	if err != nil {
-		return nil, err
-	}
-	var swErrs []float64
-	tab := trace.NewTable("tb_day", "swntp_err_us", "tsc_err_us")
-	k := 0
-	for _, e := range tr.Completed() {
+	swMedAcc, coreMedAcc := stats.NewMedianAbs(), stats.NewMedianAbs()
+	swWorst, coreWorst := 0.0, 0.0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if e.Lost {
+			continue
+		}
 		sw.ProcessExchange(e.Ta, e.Tf, e.Tb, e.Te)
-		err := sw.Read(e.Tf) - e.Tg
+		swErr := sw.Read(e.Tf) - e.Tg
+		res, err := s.Process(core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: process seq %d: %w", e.Seq, err)
+		}
+		coreErr := offsetErrOf(res, e)
 		if e.TrueTf > 3*timebase.Hour {
-			swErrs = append(swErrs, err)
+			swMedAcc.Add(swErr)
+			coreMedAcc.Add(coreErr)
+			if a := math.Abs(swErr); a > swWorst {
+				swWorst = a
+			}
+			if a := math.Abs(coreErr); a > coreWorst {
+				coreWorst = a
+			}
 		}
-		var coreErr float64
-		if k < len(results) {
-			thetaG := float64(e.Tf)*results[k].ClockP + results[k].ClockC - e.Tg
-			coreErr = results[k].ThetaHat - thetaG
+		if err := sink.Append(e.Tb/timebase.Day, swErr/1e-6, coreErr/1e-6); err != nil {
+			return nil, err
 		}
-		if err2 := tab.Append(e.Tb/timebase.Day, err/1e-6, coreErr/1e-6); err2 != nil {
-			return nil, err2
-		}
-		k++
 	}
-	if err := r.save(opts, "comparison", tab); err != nil {
+	if err := sink.Close(); err != nil {
 		return nil, err
 	}
-	swMed := medianAbs(swErrs)
-	_, swWorst := stats.MinMax(absAll(swErrs))
-	_, coreWorst := stats.MinMax(absAll(coreErrs))
+	swMed, coreMed := swMedAcc.Value(), coreMedAcc.Value()
 
 	r.addLine("median |error|: SW-NTP %s vs TSC-NTP %s (factor %.1f)",
 		timebase.FormatDuration(swMed), timebase.FormatDuration(coreMed), swMed/coreMed)
@@ -435,21 +448,7 @@ func runBaseline(opts Options) (*Report, error) {
 	r.addCheck("SW-NTP resets on the 150 ms fault", "steps ≥ 2",
 		fmt.Sprint(sw.Steps()), sw.Steps() >= 2)
 	// Core containment on the same event.
-	maxCore := 0.0
-	for _, e := range coreErrs {
-		if a := math.Abs(e); a > maxCore {
-			maxCore = a
-		}
-	}
 	r.addCheck("TSC-NTP contains the same fault without reset",
-		"max |err| ≤ 4ms", timebase.FormatDuration(maxCore), maxCore <= 4*timebase.Millisecond)
+		"max |err| ≤ 4ms", timebase.FormatDuration(coreWorst), coreWorst <= 4*timebase.Millisecond)
 	return r, nil
-}
-
-func absAll(xs []float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = math.Abs(x)
-	}
-	return out
 }

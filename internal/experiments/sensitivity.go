@@ -4,18 +4,38 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timebase"
 	"repro/internal/trace"
 )
 
-// sensitivityTrace is the 3-week MR-Int dataset behind Figure 9 (scaled
-// in Quick mode).
-func sensitivityTrace(opts Options, poll float64, seedOff uint64) (*sim.Trace, error) {
+// sensitivityScenario is the 3-week MR-Int dataset behind Figure 9
+// (scaled in Quick mode). The sweeps below regenerate the identical
+// stream once per engine configuration instead of materializing the
+// trace once: generation is a small fraction of the engine pass, and
+// peak memory stays flat in the trace length.
+func sensitivityScenario(opts Options, poll float64, seedOff uint64) sim.Scenario {
 	dur := opts.scale(3 * timebase.Week)
-	sc := sim.NewScenario(sim.MachineRoom, sim.ServerInt(), poll, dur, opts.seed()+seedOff)
-	return sim.Generate(sc)
+	return sim.NewScenario(sim.MachineRoom, sim.ServerInt(), poll, dur, opts.seed()+seedOff)
+}
+
+// sweepFiveNum streams the scenario through one engine configuration
+// and folds the settled offset errors into an online five-number
+// summary.
+func sweepFiveNum(sc sim.Scenario, cfg core.Config, settle float64) (stats.FiveNum, error) {
+	acc := stats.NewStreamingFiveNum()
+	_, err := streamRun(sc, cfg, func(e sim.Exchange, res core.Result) error {
+		if e.TrueTf > settle {
+			acc.Add(offsetErrOf(res, e))
+		}
+		return nil
+	})
+	if err != nil {
+		return stats.FiveNum{}, err
+	}
+	return acc.FiveNum(), nil
 }
 
 // runFig9a: sensitivity of offset error to the window size τ′/τ*
@@ -23,10 +43,7 @@ func sensitivityTrace(opts Options, poll float64, seedOff uint64) (*sim.Trace, e
 // The paper's result: very low sensitivity, optimum near τ′ = τ*.
 func runFig9a(opts Options) (*Report, error) {
 	r := newReport("fig9a", Title("fig9a"))
-	tr, err := sensitivityTrace(opts, 16, 0)
-	if err != nil {
-		return nil, err
-	}
+	sc := sensitivityScenario(opts, 16, 0)
 	ratios := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4}
 
 	for _, useLocal := range []bool{false, true} {
@@ -41,17 +58,15 @@ func runFig9a(opts Options) (*Report, error) {
 				cfg.TopWindow = math.Max(cfg.TopWindow, 2*cfg.LocalRateWindow)
 				cfg.ShiftWindow = cfg.LocalRateWindow / 2
 			}
-			results, ex, err := engineRun(tr, cfg)
+			fn, err := sweepFiveNum(sc, cfg, timebase.Hour)
 			if err != nil {
 				return nil, err
 			}
-			settled := afterWarmup(offsetErrors(results, ex), ex, timebase.Hour)
-			fn := stats.FiveNumOf(settled)
 			if err := tab.Append(ratio, fn.P01/1e-6, fn.P25/1e-6, fn.P50/1e-6, fn.P75/1e-6, fn.P99/1e-6); err != nil {
 				return nil, err
 			}
 			medians = append(medians, fn.P50)
-			r.addLine("%s τ'/τ*=%-6.4g %s", localTag(useLocal), ratio, fiveNumLine("", settled))
+			r.addLine("%s τ'/τ*=%-6.4g %s", localTag(useLocal), ratio, fiveNumFmt("", fn))
 		}
 		if err := r.save(opts, "sweep_"+localTag(useLocal), tab); err != nil {
 			return nil, err
@@ -77,10 +92,7 @@ func localTag(useLocal bool) string {
 // τ′ = τ*/2. Again: very low sensitivity.
 func runFig9b(opts Options) (*Report, error) {
 	r := newReport("fig9b", Title("fig9b"))
-	tr, err := sensitivityTrace(opts, 16, 0)
-	if err != nil {
-		return nil, err
-	}
+	sc := sensitivityScenario(opts, 16, 0)
 	factors := []float64{1, 2, 3, 4, 7, 10, 20}
 
 	tab := trace.NewTable("e_over_delta", "p01_us", "p25_us", "p50_us", "p75_us", "p99_us")
@@ -89,18 +101,16 @@ func runFig9b(opts Options) (*Report, error) {
 		cfg := defaultCfg(16)
 		cfg.OffsetWindow = cfg.TauStar / 2
 		cfg.EFactor = f
-		results, ex, err := engineRun(tr, cfg)
+		fn, err := sweepFiveNum(sc, cfg, timebase.Hour)
 		if err != nil {
 			return nil, err
 		}
-		settled := afterWarmup(offsetErrors(results, ex), ex, timebase.Hour)
-		fn := stats.FiveNumOf(settled)
 		if err := tab.Append(f, fn.P01/1e-6, fn.P25/1e-6, fn.P50/1e-6, fn.P75/1e-6, fn.P99/1e-6); err != nil {
 			return nil, err
 		}
 		medians = append(medians, fn.P50)
 		iqrs = append(iqrs, fn.P75-fn.P25)
-		r.addLine("E=%2.0fδ %s", f, fiveNumLine("", settled))
+		r.addLine("E=%2.0fδ %s", f, fiveNumFmt("", fn))
 	}
 	if err := r.save(opts, "sweep", tab); err != nil {
 		return nil, err
@@ -128,22 +138,15 @@ func runFig9c(opts Options) (*Report, error) {
 	tab := trace.NewTable("poll_s", "p01_us", "p25_us", "p50_us", "p75_us", "p99_us")
 	var medians []float64
 	for _, poll := range polls {
-		tr, err := sensitivityTrace(opts, poll, 0)
+		fn, err := sweepFiveNum(sensitivityScenario(opts, poll, 0), defaultCfg(poll), 3*timebase.Hour)
 		if err != nil {
 			return nil, err
 		}
-		cfg := defaultCfg(poll)
-		results, ex, err := engineRun(tr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		settled := afterWarmup(offsetErrors(results, ex), ex, 3*timebase.Hour)
-		fn := stats.FiveNumOf(settled)
 		if err := tab.Append(poll, fn.P01/1e-6, fn.P25/1e-6, fn.P50/1e-6, fn.P75/1e-6, fn.P99/1e-6); err != nil {
 			return nil, err
 		}
 		medians = append(medians, fn.P50)
-		r.addLine("poll=%3.0fs %s", poll, fiveNumLine("", settled))
+		r.addLine("poll=%3.0fs %s", poll, fiveNumFmt("", fn))
 	}
 	if err := r.save(opts, "sweep", tab); err != nil {
 		return nil, err
@@ -180,22 +183,15 @@ func runFig10(opts Options) (*Report, error) {
 	summaries := map[string]stats.FiveNum{}
 	for i, c := range cases {
 		sc := sim.NewScenario(c.env, c.spec, 64, dur, opts.seed()+uint64(200+i))
-		tr, err := sim.Generate(sc)
+		fn, err := sweepFiveNum(sc, defaultCfg(64), 3*timebase.Hour)
 		if err != nil {
 			return nil, err
 		}
-		cfg := defaultCfg(64)
-		results, ex, err := engineRun(tr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		settled := afterWarmup(offsetErrors(results, ex), ex, 3*timebase.Hour)
-		fn := stats.FiveNumOf(settled)
 		summaries[c.name] = fn
 		if err := tab.Append(float64(i), fn.P01/1e-6, fn.P25/1e-6, fn.P50/1e-6, fn.P75/1e-6, fn.P99/1e-6); err != nil {
 			return nil, err
 		}
-		r.addLine("%s", fiveNumLine(c.name, settled))
+		r.addLine("%s", fiveNumFmt(c.name, fn))
 	}
 	if err := r.save(opts, "environments", tab); err != nil {
 		return nil, err

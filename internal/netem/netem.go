@@ -73,6 +73,19 @@ type PathConfig struct {
 	// field is zero.
 	EpisodeHitProb float64
 
+	// Regime switching models week-scale load regimes on top of the
+	// diurnal cycle: the path dwells in one regime for an exponential
+	// time of mean RegimeMeanDwell (days-scale for the long-horizon
+	// scenarios), then jumps uniformly to another entry of
+	// RegimeFactors. The factor in force multiplies the utilization —
+	// scaling both the light-load queueing mean and the congestion
+	// episode rate — so a multi-week trace alternates quiet and busy
+	// spells instead of repeating one stationary day. Zero
+	// RegimeMeanDwell (the default) disables the process entirely and
+	// consumes no random draws, keeping existing scenarios bit-identical.
+	RegimeMeanDwell float64
+	RegimeFactors   []float64
+
 	// Shifts is the level-shift schedule for this direction.
 	Shifts []Shift
 }
@@ -99,6 +112,19 @@ func (c PathConfig) Validate() error {
 	if c.EpisodeHitProb < 0 || c.EpisodeHitProb > 1 {
 		return fmt.Errorf("netem: EpisodeHitProb %v outside [0,1]", c.EpisodeHitProb)
 	}
+	if c.RegimeMeanDwell < 0 {
+		return fmt.Errorf("netem: negative RegimeMeanDwell %v", c.RegimeMeanDwell)
+	}
+	if c.RegimeMeanDwell > 0 {
+		if len(c.RegimeFactors) < 2 {
+			return fmt.Errorf("netem: regime switching needs at least 2 RegimeFactors")
+		}
+		for i, f := range c.RegimeFactors {
+			if !(f > 0) {
+				return fmt.Errorf("netem: RegimeFactors[%d] = %v must be positive", i, f)
+			}
+		}
+	}
 	return nil
 }
 
@@ -114,6 +140,10 @@ type Path struct {
 	epEnd     float64
 	nextStart float64
 	severity  float64
+
+	// Load-regime process state (see PathConfig.RegimeMeanDwell).
+	regime    int
+	regimeEnd float64
 }
 
 // NewPath constructs a path from its config and a dedicated random
@@ -128,18 +158,31 @@ func NewPath(cfg PathConfig, src *rng.Source) (*Path, error) {
 	} else {
 		p.nextStart = math.Inf(1)
 	}
+	if cfg.RegimeMeanDwell > 0 {
+		p.regimeEnd = src.Exponential(cfg.RegimeMeanDwell)
+	} else {
+		p.regimeEnd = math.Inf(1)
+	}
 	return p, nil
 }
 
 // Config returns the path's configuration.
 func (p *Path) Config() PathConfig { return p.cfg }
 
-// utilization returns the diurnal load factor at t.
+// utilization returns the load factor at t: the diurnal cycle scaled by
+// the regime factor in force. The regime process is advanced by
+// advance(); episode catch-up queries during a regime boundary crossing
+// use the newly entered regime's factor, an approximation that is
+// invisible at days-scale dwell times.
 func (p *Path) utilization(t float64) float64 {
-	if p.cfg.DiurnalAmplitude == 0 {
-		return 1
+	u := 1.0
+	if p.cfg.DiurnalAmplitude != 0 {
+		u += p.cfg.DiurnalAmplitude * math.Cos(2*math.Pi*(t-p.cfg.DiurnalPeak)/timebase.Day)
 	}
-	return 1 + p.cfg.DiurnalAmplitude*math.Cos(2*math.Pi*(t-p.cfg.DiurnalPeak)/timebase.Day)
+	if p.cfg.RegimeMeanDwell > 0 {
+		u *= p.cfg.RegimeFactors[p.regime]
+	}
+	return u
 }
 
 // MinAt returns the minimum delay in force at time t, including all level
@@ -163,6 +206,17 @@ func (p *Path) advance(t float64) {
 		panic(fmt.Sprintf("netem: path queried backwards in time (%v after %v)", t, p.lastT))
 	}
 	p.lastT = t
+	for p.regimeEnd <= t {
+		// Jump uniformly to one of the *other* regimes, as documented:
+		// re-drawing the current one would silently stretch the
+		// effective dwell (2× for two factors).
+		next := p.src.Intn(len(p.cfg.RegimeFactors) - 1)
+		if next >= p.regime {
+			next++
+		}
+		p.regime = next
+		p.regimeEnd += p.src.Exponential(p.cfg.RegimeMeanDwell)
+	}
 	for {
 		if p.inEpisode {
 			if t < p.epEnd {
@@ -185,6 +239,10 @@ func (p *Path) advance(t float64) {
 // InEpisode reports whether a congestion episode is active at the last
 // queried time; exposed for tests and diagnostics.
 func (p *Path) InEpisode() bool { return p.inEpisode }
+
+// Regime returns the index into RegimeFactors of the load regime in
+// force at the last queried time; exposed for tests and diagnostics.
+func (p *Path) Regime() int { return p.regime }
 
 // Delay draws the total one-way delay experienced by a packet entering
 // the path at time t: current minimum plus queueing.

@@ -30,6 +30,56 @@ type Sinusoid struct {
 	Phase        float64 // radians at t = 0
 }
 
+// TempCycle is the diurnal temperature drift cycle of a long-horizon
+// scenario: a daily fundamental plus an optional second harmonic (the
+// day/night asymmetry of an office or machine-room thermal load) whose
+// amplitude is itself modulated on the week scale (weekday/weekend
+// load). Internally it expands into closed-form sinusoids, so it
+// integrates exactly like the base Sinusoids and adds no per-read cost;
+// the zero value contributes nothing.
+type TempCycle struct {
+	// AmplitudePPM is the peak rate deviation of the daily fundamental.
+	AmplitudePPM float64
+	// Phase is the fundamental's phase in radians at t = 0 (which hour
+	// of the day the temperature peaks).
+	Phase float64
+	// Harmonic2 is the fraction of the amplitude carried by the second
+	// harmonic (12 h period), shaping the asymmetric heat-up/cool-down
+	// profile. Typical values are 0–0.5.
+	Harmonic2 float64
+	// WeeklyMod is the fractional week-scale amplitude modulation in
+	// [0, 1): 0.3 means the daily swing breathes ±30% over the week.
+	WeeklyMod float64
+}
+
+// expand returns the sinusoid terms realizing the cycle. The weekly
+// modulation A·m·sin(ω_d t+φ)·sin(ω_w t) is expanded into its two
+// sum/difference tones so the phase integral stays closed-form.
+func (tc TempCycle) expand() []Sinusoid {
+	if tc.AmplitudePPM == 0 {
+		return nil
+	}
+	sins := []Sinusoid{{AmplitudePPM: tc.AmplitudePPM, Period: timebase.Day, Phase: tc.Phase}}
+	if tc.Harmonic2 != 0 {
+		sins = append(sins, Sinusoid{
+			AmplitudePPM: tc.AmplitudePPM * tc.Harmonic2,
+			Period:       timebase.Day / 2,
+			Phase:        2 * tc.Phase,
+		})
+	}
+	if tc.WeeklyMod != 0 {
+		// sin(a)·sin(b) = [cos(a−b) − cos(a+b)]/2, cos(x) = sin(x+π/2).
+		half := tc.AmplitudePPM * tc.WeeklyMod / 2
+		fDiff := 1/timebase.Day - 1/timebase.Week
+		fSum := 1/timebase.Day + 1/timebase.Week
+		sins = append(sins,
+			Sinusoid{AmplitudePPM: half, Period: 1 / fDiff, Phase: tc.Phase + math.Pi/2},
+			Sinusoid{AmplitudePPM: half, Period: 1 / fSum, Phase: tc.Phase + 3*math.Pi/2},
+		)
+	}
+	return sins
+}
+
 // Config parameterizes an oscillator.
 type Config struct {
 	// NominalHz is the advertised counter frequency, e.g. 548655270 for
@@ -44,6 +94,10 @@ type Config struct {
 	// Sinusoids are deterministic periodic wander components
 	// (temperature cycles, cooling-fan oscillation, ...).
 	Sinusoids []Sinusoid
+
+	// Temp is the structured diurnal temperature drift cycle of
+	// long-horizon scenarios; the zero value contributes nothing.
+	Temp TempCycle
 
 	// RandomWalkStep is the update interval of the bounded random-walk
 	// frequency component, and RandomWalkStepPPM the standard deviation
@@ -69,6 +123,12 @@ func (c Config) Validate() error {
 		if !(s.Period > 0) {
 			return fmt.Errorf("oscillator: sinusoid %d has non-positive period %v", i, s.Period)
 		}
+	}
+	if c.Temp.AmplitudePPM < 0 || c.Temp.Harmonic2 < 0 {
+		return fmt.Errorf("oscillator: negative temperature-cycle amplitude")
+	}
+	if c.Temp.WeeklyMod < 0 || c.Temp.WeeklyMod >= 1 {
+		return fmt.Errorf("oscillator: Temp.WeeklyMod %v outside [0,1)", c.Temp.WeeklyMod)
 	}
 	return nil
 }
@@ -127,13 +187,18 @@ func MachineRoom() Config {
 // for concurrent use.
 type Oscillator struct {
 	cfg    Config
-	gamma0 float64 // constant skew, dimensionless
+	gamma0 float64    // constant skew, dimensionless
+	sins   []Sinusoid // Sinusoids plus the expanded temperature cycle
 
 	// Random-walk frequency component, generated lazily in fixed steps.
-	// rwRate[k] is the dimensionless rate offset during step k
-	// (t in [k*h, (k+1)*h)); rwCum[k] is the integral of the rate over
-	// steps 0..k-1, in seconds.
+	// rwRate[j] is the dimensionless rate offset during absolute step
+	// k = rwBase+j (t in [k*h, (k+1)*h)); rwCum[j] is the integral of
+	// the rate over absolute steps 0..k-1, in seconds. rwBase is the
+	// absolute index of element 0: TrimBefore drops old steps so
+	// streaming generation of arbitrarily long traces holds only a
+	// bounded window of the walk.
 	rwSrc  *rng.Source
+	rwBase int
 	rwRate []float64
 	rwCum  []float64
 }
@@ -147,6 +212,7 @@ func New(cfg Config, seed uint64) (*Oscillator, error) {
 	o := &Oscillator{
 		cfg:    cfg,
 		gamma0: timebase.FromPPM(cfg.SkewPPM),
+		sins:   append(append([]Sinusoid(nil), cfg.Sinusoids...), cfg.Temp.expand()...),
 		rwSrc:  rng.New(seed),
 		rwRate: []float64{0},
 		rwCum:  []float64{0},
@@ -171,13 +237,13 @@ func (o *Oscillator) MeanPeriod() float64 {
 // excluding the constant skew).
 func (o *Oscillator) wanderRate(t float64) float64 {
 	w := 0.0
-	for _, s := range o.cfg.Sinusoids {
+	for _, s := range o.sins {
 		w += timebase.FromPPM(s.AmplitudePPM) * math.Sin(2*math.Pi*t/s.Period+s.Phase)
 	}
 	if o.cfg.RandomWalkStepPPM > 0 {
 		k := int(t / o.cfg.RandomWalkStep)
 		o.extendRW(k)
-		w += o.rwRate[k]
+		w += o.rwRate[k-o.rwBase]
 	}
 	return w
 }
@@ -188,15 +254,19 @@ func (o *Oscillator) Rate(t float64) float64 {
 	return o.gamma0 + o.wanderRate(t)
 }
 
-// extendRW generates random-walk steps up to and including index k.
+// extendRW generates random-walk steps up to and including absolute
+// index k.
 func (o *Oscillator) extendRW(k int) {
 	if k < 0 {
 		panic("oscillator: negative time queried for random walk")
 	}
+	if k < o.rwBase {
+		panic(fmt.Sprintf("oscillator: random-walk step %d queried after TrimBefore dropped it (base %d)", k, o.rwBase))
+	}
 	h := o.cfg.RandomWalkStep
 	step := timebase.FromPPM(o.cfg.RandomWalkStepPPM)
 	bound := timebase.FromPPM(o.cfg.RandomWalkBoundPPM)
-	for len(o.rwRate) <= k {
+	for o.rwBase+len(o.rwRate) <= k {
 		prev := o.rwRate[len(o.rwRate)-1]
 		next := prev + step*o.rwSrc.StdNormal()
 		// Reflect at the stability bound so the 0.1 PPM hardware
@@ -212,12 +282,45 @@ func (o *Oscillator) extendRW(k int) {
 	}
 }
 
+// TrimBefore drops the cached random-walk steps strictly before true
+// time t, keeping the oscillator usable for all queries at or after t
+// (earlier queries panic). Streaming trace generation calls it as time
+// advances, so the cache — the only state that otherwise grows with
+// trace duration — stays a bounded window and multi-week generation
+// runs in constant memory. Values are unaffected: a trimmed oscillator
+// produces bit-identical stamps for the times it can still answer.
+func (o *Oscillator) TrimBefore(t float64) {
+	if o.cfg.RandomWalkStepPPM <= 0 || t <= 0 {
+		return
+	}
+	k := int(t / o.cfg.RandomWalkStep)
+	// Keep at least the latest generated step: appends continue from it.
+	if max := o.rwBase + len(o.rwRate) - 1; k > max {
+		k = max
+	}
+	d := k - o.rwBase
+	if d <= 0 {
+		return
+	}
+	copy(o.rwRate, o.rwRate[d:])
+	copy(o.rwCum, o.rwCum[d:])
+	o.rwRate = o.rwRate[:len(o.rwRate)-d]
+	o.rwCum = o.rwCum[:len(o.rwCum)-d]
+	o.rwBase = k
+}
+
+// RandomWalkCacheLen reports how many random-walk steps are currently
+// cached — the diagnostic the constant-memory tests watch: without
+// TrimBefore it grows one step per RandomWalkStep of generated time,
+// with trimming it stays a bounded window.
+func (o *Oscillator) RandomWalkCacheLen() int { return len(o.rwRate) }
+
 // wanderIntegral returns the integral of the wander rate from 0 to t, in
 // seconds, computed in closed form for the sinusoids and from the cached
 // cumulative sums for the random walk.
 func (o *Oscillator) wanderIntegral(t float64) float64 {
 	w := 0.0
-	for _, s := range o.cfg.Sinusoids {
+	for _, s := range o.sins {
 		a := timebase.FromPPM(s.AmplitudePPM)
 		omega := 2 * math.Pi / s.Period
 		w += a / omega * (math.Cos(s.Phase) - math.Cos(omega*t+s.Phase))
@@ -226,7 +329,7 @@ func (o *Oscillator) wanderIntegral(t float64) float64 {
 		h := o.cfg.RandomWalkStep
 		k := int(t / h)
 		o.extendRW(k)
-		w += o.rwCum[k] + o.rwRate[k]*(t-float64(k)*h)
+		w += o.rwCum[k-o.rwBase] + o.rwRate[k-o.rwBase]*(t-float64(k)*h)
 	}
 	return w
 }

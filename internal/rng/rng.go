@@ -39,6 +39,25 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Clone returns an exact copy of the generator state: the clone and the
+// original produce identical draw sequences from this point on. The
+// streaming trace generators use clones to fast-forward one logical
+// stream to a later position (draw and discard) without disturbing the
+// original, which is what lets a lazily merged multi-server schedule
+// reproduce the batch generator's draw order bit for bit.
+func (r *Source) Clone() *Source {
+	cp := *r
+	return &cp
+}
+
+// SkipFloat64 advances the generator by n Float64 draws, discarding the
+// values. Equivalent to calling Float64 n times.
+func (r *Source) SkipFloat64(n int) {
+	for i := 0; i < n; i++ {
+		r.Float64()
+	}
+}
+
 // Split derives an independent child generator from the current state.
 // It consumes two outputs of the parent, so subsequent parent draws and
 // child draws are decorrelated streams. Use it to give each model

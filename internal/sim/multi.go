@@ -3,11 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/netem"
 	"repro/internal/oscillator"
-	"repro/internal/rng"
 )
 
 // MultiScenario describes a multi-server trace: ONE host (one
@@ -145,89 +143,29 @@ type MultiTrace struct {
 }
 
 // GenerateMulti produces the deterministic multi-server trace described
-// by the scenario. Every server gets its own independent path, server
-// and loss random streams; the oscillator, host model and DAG monitor
-// are shared, as on a real host.
+// by the scenario, materialized in memory: a collector over the
+// pull-based MultiStream, which lazily merges the per-server schedules
+// into the identical emission-ordered sequence. Every server gets its
+// own independent path, server and loss random streams; the oscillator,
+// host model and DAG monitor are shared, as on a real host. The
+// schedule places server k's poll i at (i + 1/2 + k/N)·PollPeriod plus
+// jitter; the half-period base offset (as in the single-server
+// generator) keeps the first emission positive for any valid jitter
+// fraction.
 func GenerateMulti(sc MultiScenario) (*MultiTrace, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	root := rng.New(sc.Seed)
-	oscSrc := root.Split()
-	hostSrc := root.Split()
-	dagSrc := root.Split()
-	pollSrc := root.Split()
-
-	osc, err := oscillator.New(sc.Oscillator, oscSrc.Uint64())
+	st, err := NewMultiStream(sc)
 	if err != nil {
 		return nil, err
 	}
-	host, err := netem.NewHostStamp(sc.Host, hostSrc)
-	if err != nil {
-		return nil, err
-	}
-
-	nSrv := len(sc.Servers)
-	fwd := make([]*netem.Path, nSrv)
-	back := make([]*netem.Path, nSrv)
-	srv := make([]*netem.Server, nSrv)
-	miss := make([]*rng.Source, nSrv)
-	for k, spec := range sc.Servers {
-		if fwd[k], err = netem.NewPath(spec.Forward, root.Split()); err != nil {
-			return nil, fmt.Errorf("sim: server %d forward path: %w", k, err)
+	exchanges := make([]MultiExchange, 0, st.Len())
+	for {
+		ex, ok := st.Next()
+		if !ok {
+			break
 		}
-		if back[k], err = netem.NewPath(spec.Backward, root.Split()); err != nil {
-			return nil, fmt.Errorf("sim: server %d backward path: %w", k, err)
-		}
-		if srv[k], err = netem.NewServer(spec.Server, root.Split()); err != nil {
-			return nil, fmt.Errorf("sim: server %d: %w", k, err)
-		}
-		miss[k] = root.Split()
-	}
-
-	// Build the global emission schedule: server k polls at
-	// (i + 1/2 + k/N)·PollPeriod plus jitter, merged into time order so
-	// the shared host model draws its noise in emission order. The
-	// half-period base offset (as in the single-server generator) keeps
-	// the first emission positive for any valid jitter fraction.
-	type slot struct {
-		t      float64
-		server int
-		seq    int
-	}
-	perServer := int(sc.Duration / sc.PollPeriod)
-	slots := make([]slot, 0, perServer*nSrv)
-	for k := 0; k < nSrv; k++ {
-		for i := 0; i < perServer; i++ {
-			jitter := (pollSrc.Float64() - 0.5) * sc.PollJitterFrac * sc.PollPeriod
-			t := (float64(i)+0.5+float64(k)/float64(nSrv))*sc.PollPeriod + jitter
-			slots = append(slots, slot{t: t, server: k, seq: i})
-		}
-	}
-	sort.Slice(slots, func(a, b int) bool { return slots[a].t < slots[b].t })
-
-	exchanges := make([]MultiExchange, 0, len(slots))
-	for _, sl := range slots {
-		k := sl.server
-		ex := MultiExchange{Server: k, Exchange: Exchange{Seq: sl.seq}}
-
-		lost := miss[k].Bool(sc.LossProb)
-		for _, g := range sc.Gaps {
-			if sl.t >= g.From && sl.t < g.To {
-				lost = true
-			}
-		}
-		if lost {
-			ex.Lost = true
-			exchanges = append(exchanges, ex)
-			continue
-		}
-
-		stampExchange(&ex.Exchange, sl.t, osc, host, fwd[k], back[k], srv[k], dagSrc, sc.DAGJitter)
 		exchanges = append(exchanges, ex)
 	}
-
-	return &MultiTrace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+	return &MultiTrace{Scenario: sc, Exchanges: exchanges, Osc: st.Osc()}, nil
 }
 
 // Completed returns the non-lost exchanges, in emission order.

@@ -287,71 +287,24 @@ type Trace struct {
 	Osc *oscillator.Oscillator
 }
 
-// Generate produces the deterministic trace described by the scenario.
+// Generate produces the deterministic trace described by the scenario,
+// materialized in memory: a collector over the pull-based Stream, which
+// emits the identical exchange sequence one record at a time for
+// workloads too long to hold resident.
 func Generate(sc Scenario) (*Trace, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	root := rng.New(sc.Seed)
-	oscSrc := root.Split()
-	fwdSrc := root.Split()
-	backSrc := root.Split()
-	srvSrc := root.Split()
-	hostSrc := root.Split()
-	missSrc := root.Split()
-	dagSrc := root.Split()
-	pollSrc := root.Split()
-
-	osc, err := oscillator.New(sc.Oscillator, oscSrc.Uint64())
+	st, err := NewStream(sc)
 	if err != nil {
 		return nil, err
 	}
-	fwd, err := netem.NewPath(sc.Server.Forward, fwdSrc)
-	if err != nil {
-		return nil, fmt.Errorf("sim: forward path: %w", err)
-	}
-	back, err := netem.NewPath(sc.Server.Backward, backSrc)
-	if err != nil {
-		return nil, fmt.Errorf("sim: backward path: %w", err)
-	}
-	srv, err := netem.NewServer(sc.Server.Server, srvSrc)
-	if err != nil {
-		return nil, err
-	}
-	host, err := netem.NewHostStamp(sc.Host, hostSrc)
-	if err != nil {
-		return nil, err
-	}
-
-	n := int(sc.Duration / sc.PollPeriod)
-	exchanges := make([]Exchange, 0, n)
-	for i := 0; i < n; i++ {
-		jitter := (pollSrc.Float64() - 0.5) * sc.PollJitterFrac * sc.PollPeriod
-		tStamp := float64(i)*sc.PollPeriod + sc.PollPeriod/2 + jitter
-
-		ex := Exchange{Seq: i}
-
-		// Loss and outage gaps: the exchange never completes. Note the
-		// path/server models are still *not* advanced: a lost packet
-		// consumes no queueing draws, matching the paper's treatment of
-		// loss as absence of data.
-		lost := missSrc.Bool(sc.LossProb)
-		for _, g := range sc.Gaps {
-			if tStamp >= g.From && tStamp < g.To {
-				lost = true
-			}
+	exchanges := make([]Exchange, 0, st.Len())
+	for {
+		ex, ok := st.Next()
+		if !ok {
+			break
 		}
-		if lost {
-			ex.Lost = true
-			exchanges = append(exchanges, ex)
-			continue
-		}
-
-		stampExchange(&ex, tStamp, osc, host, fwd, back, srv, dagSrc, sc.DAGJitter)
 		exchanges = append(exchanges, ex)
 	}
-
-	return &Trace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+	return &Trace{Scenario: sc, Exchanges: exchanges, Osc: st.Osc()}, nil
 }
 
 // stampExchange realizes one completed exchange emitted at tStamp

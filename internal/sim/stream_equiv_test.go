@@ -1,0 +1,393 @@
+package sim
+
+// The original batch generators survive here verbatim as references:
+// Generate/GenerateMulti are now collectors over Stream/MultiStream,
+// and these tests pin the streams bit-identical to the independent
+// batch implementations (same seed → same draws in the same order),
+// including the lazily merged multi-server schedule and oscillator
+// cache trimming.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/oscillator"
+	"repro/internal/rng"
+	"repro/internal/timebase"
+)
+
+// generateRef is the pre-streaming batch implementation of Generate,
+// kept as the golden reference.
+func generateRef(sc Scenario) (*Trace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(sc.Seed)
+	oscSrc := root.Split()
+	fwdSrc := root.Split()
+	backSrc := root.Split()
+	srvSrc := root.Split()
+	hostSrc := root.Split()
+	missSrc := root.Split()
+	dagSrc := root.Split()
+	pollSrc := root.Split()
+
+	osc, err := oscillator.New(sc.Oscillator, oscSrc.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := netem.NewPath(sc.Server.Forward, fwdSrc)
+	if err != nil {
+		return nil, err
+	}
+	back, err := netem.NewPath(sc.Server.Backward, backSrc)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := netem.NewServer(sc.Server.Server, srvSrc)
+	if err != nil {
+		return nil, err
+	}
+	host, err := netem.NewHostStamp(sc.Host, hostSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	n := int(sc.Duration / sc.PollPeriod)
+	exchanges := make([]Exchange, 0, n)
+	for i := 0; i < n; i++ {
+		jitter := (pollSrc.Float64() - 0.5) * sc.PollJitterFrac * sc.PollPeriod
+		tStamp := float64(i)*sc.PollPeriod + sc.PollPeriod/2 + jitter
+
+		ex := Exchange{Seq: i}
+		lost := missSrc.Bool(sc.LossProb)
+		for _, g := range sc.Gaps {
+			if tStamp >= g.From && tStamp < g.To {
+				lost = true
+			}
+		}
+		if lost {
+			ex.Lost = true
+			exchanges = append(exchanges, ex)
+			continue
+		}
+		stampExchange(&ex, tStamp, osc, host, fwd, back, srv, dagSrc, sc.DAGJitter)
+		exchanges = append(exchanges, ex)
+	}
+	return &Trace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+}
+
+// generateMultiRef is the pre-streaming batch implementation of
+// GenerateMulti (eager server-major jitter draws, sorted schedule),
+// kept as the golden reference for the lazy merge.
+func generateMultiRef(sc MultiScenario) (*MultiTrace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(sc.Seed)
+	oscSrc := root.Split()
+	hostSrc := root.Split()
+	dagSrc := root.Split()
+	pollSrc := root.Split()
+
+	osc, err := oscillator.New(sc.Oscillator, oscSrc.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	host, err := netem.NewHostStamp(sc.Host, hostSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	nSrv := len(sc.Servers)
+	fwd := make([]*netem.Path, nSrv)
+	back := make([]*netem.Path, nSrv)
+	srv := make([]*netem.Server, nSrv)
+	miss := make([]*rng.Source, nSrv)
+	for k, spec := range sc.Servers {
+		if fwd[k], err = netem.NewPath(spec.Forward, root.Split()); err != nil {
+			return nil, err
+		}
+		if back[k], err = netem.NewPath(spec.Backward, root.Split()); err != nil {
+			return nil, err
+		}
+		if srv[k], err = netem.NewServer(spec.Server, root.Split()); err != nil {
+			return nil, err
+		}
+		miss[k] = root.Split()
+	}
+
+	type slot struct {
+		t      float64
+		server int
+		seq    int
+	}
+	perServer := int(sc.Duration / sc.PollPeriod)
+	slots := make([]slot, 0, perServer*nSrv)
+	for k := 0; k < nSrv; k++ {
+		for i := 0; i < perServer; i++ {
+			jitter := (pollSrc.Float64() - 0.5) * sc.PollJitterFrac * sc.PollPeriod
+			t := (float64(i)+0.5+float64(k)/float64(nSrv))*sc.PollPeriod + jitter
+			slots = append(slots, slot{t: t, server: k, seq: i})
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].t < slots[b].t })
+
+	exchanges := make([]MultiExchange, 0, len(slots))
+	for _, sl := range slots {
+		k := sl.server
+		ex := MultiExchange{Server: k, Exchange: Exchange{Seq: sl.seq}}
+		lost := miss[k].Bool(sc.LossProb)
+		for _, g := range sc.Gaps {
+			if sl.t >= g.From && sl.t < g.To {
+				lost = true
+			}
+		}
+		if lost {
+			ex.Lost = true
+			exchanges = append(exchanges, ex)
+			continue
+		}
+		stampExchange(&ex.Exchange, sl.t, osc, host, fwd[k], back[k], srv[k], dagSrc, sc.DAGJitter)
+		exchanges = append(exchanges, ex)
+	}
+	return &MultiTrace{Scenario: sc, Exchanges: exchanges, Osc: osc}, nil
+}
+
+// streamScenarios are the single-server cases the bit-identity tests
+// sweep: steady state, loss+gap, server fault, level shift, and the new
+// long-horizon ingredients (oscillator temperature cycle, path load
+// regimes).
+func streamScenarios() map[string]Scenario {
+	steady := NewScenario(MachineRoom, ServerInt(), 16, 6*timebase.Hour, 101)
+
+	lossy := NewScenario(Laboratory, ServerLoc(), 64, 12*timebase.Hour, 102)
+	lossy.LossProb = 0.05
+	lossy.Gaps = []Gap{{From: 2 * timebase.Hour, To: 3 * timebase.Hour}}
+
+	faulty := NewScenario(MachineRoom, ServerExt(), 16, 4*timebase.Hour, 103)
+	faulty.Server.Server.Faults = []netem.FaultWindow{
+		{From: 1000, To: 2000, Offset: 150 * timebase.Millisecond},
+	}
+
+	shifted := NewScenario(MachineRoom, ServerInt(), 16, 8*timebase.Hour, 104)
+	shifted.Server.Forward.Shifts = []netem.Shift{{At: 4 * timebase.Hour, Delta: 0.9 * timebase.Millisecond}}
+
+	longrun := NewScenario(MachineRoom, ServerInt(), 64, timebase.Day, 105)
+	longrun.Oscillator.Temp = oscillator.TempCycle{
+		AmplitudePPM: 0.02, Phase: 1.1, Harmonic2: 0.3, WeeklyMod: 0.4,
+	}
+	for _, p := range []*netem.PathConfig{&longrun.Server.Forward, &longrun.Server.Backward} {
+		p.RegimeMeanDwell = 4 * timebase.Hour
+		p.RegimeFactors = []float64{1, 2.5}
+	}
+
+	return map[string]Scenario{
+		"steady": steady, "lossy": lossy, "faulty": faulty,
+		"shifted": shifted, "longrun": longrun,
+	}
+}
+
+func TestStreamBitIdenticalToBatchReference(t *testing.T) {
+	for name, sc := range streamScenarios() {
+		t.Run(name, func(t *testing.T) {
+			want, err := generateRef(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewStream(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Len() != len(want.Exchanges) {
+				t.Fatalf("stream Len %d, batch %d", st.Len(), len(want.Exchanges))
+			}
+			for i := range want.Exchanges {
+				got, ok := st.Next()
+				if !ok {
+					t.Fatalf("stream ended at %d of %d", i, len(want.Exchanges))
+				}
+				if got != want.Exchanges[i] {
+					t.Fatalf("exchange %d differs:\n stream %+v\n batch  %+v", i, got, want.Exchanges[i])
+				}
+			}
+			if _, ok := st.Next(); ok {
+				t.Fatal("stream emitted past the batch length")
+			}
+		})
+	}
+}
+
+// TestGenerateIsStreamCollector: the public batch entry point must
+// agree with the reference too (it is now a collector over the stream).
+func TestGenerateIsStreamCollector(t *testing.T) {
+	sc := NewScenario(MachineRoom, ServerInt(), 16, 6*timebase.Hour, 77)
+	want, err := generateRef(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Exchanges) != len(want.Exchanges) {
+		t.Fatalf("lengths differ: %d vs %d", len(got.Exchanges), len(want.Exchanges))
+	}
+	for i := range want.Exchanges {
+		if got.Exchanges[i] != want.Exchanges[i] {
+			t.Fatalf("exchange %d differs", i)
+		}
+	}
+}
+
+// TestStreamTrimBitIdentical: trimming the oscillator cache behind the
+// emission front must not change a single emitted bit.
+func TestStreamTrimBitIdentical(t *testing.T) {
+	sc := NewScenario(MachineRoom, ServerInt(), 16, timebase.Day, 33)
+	plain, err := NewStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := NewStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed.SetTrim(true)
+	for i := 0; ; i++ {
+		a, okA := plain.Next()
+		b, okB := trimmed.Next()
+		if okA != okB {
+			t.Fatalf("streams end at different lengths near %d", i)
+		}
+		if !okA {
+			break
+		}
+		if a != b {
+			t.Fatalf("exchange %d differs under trimming", i)
+		}
+	}
+	// And the cache really is bounded: a day at 60 s steps is 1440
+	// entries untrimmed.
+	if n := trimmed.Osc().RandomWalkCacheLen(); n > 2*trimMargin/60+trimEvery {
+		t.Errorf("trimmed oscillator cache holds %d steps", n)
+	}
+}
+
+func TestMultiStreamBitIdenticalToBatchReference(t *testing.T) {
+	cases := map[string]MultiScenario{
+		"ensemble3": NewMultiScenario(MachineRoom, []ServerSpec{ServerLoc(), ServerInt(), ServerExt()},
+			16, 6*timebase.Hour, 42),
+		"collude": NewColludingScenario(MachineRoom, 1.5*timebase.Millisecond, 16, 3*timebase.Hour, 11),
+	}
+	withGaps := NewMultiScenario(MachineRoom, []ServerSpec{ServerInt(), ServerInt()}, 64, 12*timebase.Hour, 9)
+	withGaps.LossProb = 0.03
+	withGaps.Gaps = []Gap{{From: timebase.Hour, To: 2 * timebase.Hour}}
+	cases["gaps"] = withGaps
+
+	for name, sc := range cases {
+		t.Run(name, func(t *testing.T) {
+			want, err := generateMultiRef(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewMultiStream(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.SetTrim(true) // trim must be invisible here too
+			if st.Len() != len(want.Exchanges) {
+				t.Fatalf("stream Len %d, batch %d", st.Len(), len(want.Exchanges))
+			}
+			for i := range want.Exchanges {
+				got, ok := st.Next()
+				if !ok {
+					t.Fatalf("stream ended at %d of %d", i, len(want.Exchanges))
+				}
+				if got != want.Exchanges[i] {
+					t.Fatalf("exchange %d differs:\n stream %+v\n batch  %+v", i, got, want.Exchanges[i])
+				}
+			}
+			if _, ok := st.Next(); ok {
+				t.Fatal("stream emitted past the batch length")
+			}
+		})
+	}
+}
+
+func TestGenerateMultiIsStreamCollector(t *testing.T) {
+	sc := NewMultiScenario(MachineRoom, []ServerSpec{ServerLoc(), ServerInt(), ServerExt()},
+		16, 3*timebase.Hour, 5)
+	want, err := generateMultiRef(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Exchanges) != len(want.Exchanges) {
+		t.Fatalf("lengths differ: %d vs %d", len(got.Exchanges), len(want.Exchanges))
+	}
+	for i := range want.Exchanges {
+		if got.Exchanges[i] != want.Exchanges[i] {
+			t.Fatalf("exchange %d differs", i)
+		}
+	}
+}
+
+// TestRegimeSwitchingShape: with regimes enabled the path actually
+// alternates regimes, the trace stays causally ordered, and disabling
+// regimes (the default) is bit-identical to the pre-regime model.
+func TestRegimeSwitchingShape(t *testing.T) {
+	sc := NewScenario(MachineRoom, ServerInt(), 16, 2*timebase.Day, 55)
+	for _, p := range []*netem.PathConfig{&sc.Server.Forward, &sc.Server.Backward} {
+		p.RegimeMeanDwell = 5 * timebase.Hour
+		p.RegimeFactors = []float64{1, 3}
+	}
+	tr, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Completed() {
+		if !(e.TrueTa < e.TrueTb && e.TrueTb < e.TrueTe && e.TrueTe < e.TrueTf) {
+			t.Fatalf("event order violated: %+v", e)
+		}
+	}
+	if m := tr.MinObservedRTT(); m < sc.Server.MinRTT() {
+		t.Fatalf("min RTT %v below configured %v", m, sc.Server.MinRTT())
+	}
+}
+
+// TestTempCycleShape: the temperature cycle stays within its configured
+// amplitude budget and preserves the 0.1 PPM global stability cone.
+func TestTempCycleShape(t *testing.T) {
+	cfg := oscillator.MachineRoom()
+	cfg.Temp = oscillator.TempCycle{AmplitudePPM: 0.02, Phase: 0.7, Harmonic2: 0.4, WeeklyMod: 0.3}
+	o, err := oscillator.New(cfg, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := oscillator.New(oscillator.MachineRoom(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: the random-walk path is shared, so the rate difference
+	// is exactly the temperature cycle — bounded by the sum of its
+	// component amplitudes.
+	budget := timebase.FromPPM(0.02 * (1 + 0.4 + 0.3))
+	varied := false
+	for tt := 0.0; tt < 2*timebase.Week; tt += 977 {
+		d := o.Rate(tt) - base.Rate(tt)
+		if math.Abs(d) > budget*(1+1e-9) {
+			t.Fatalf("temp cycle contribution %v beyond budget %v at t=%v", d, budget, tt)
+		}
+		if math.Abs(d) > budget/4 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("temperature cycle never reached a quarter of its amplitude budget")
+	}
+}

@@ -1,0 +1,397 @@
+package stats
+
+// Online accumulators: the streaming half of the package. The batch
+// order statistics above need the full sample resident and a sort; the
+// types here fold one observation at a time in O(1) memory, which is
+// what lets multi-week experiment reports run at constant memory. The
+// quantile accumulators implement the P² algorithm (Jain & Chlamtac,
+// CACM 1985): five markers track the target quantile and its
+// neighborhood, adjusted parabolically as observations arrive. P² is an
+// approximation; stream_test.go documents and enforces its tolerance
+// against the exact Sorted results on random and adversarial inputs.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Moments accumulates running count, mean, variance (Welford) and
+// extrema in O(1) memory. The zero value is ready to use.
+type Moments struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations folded.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean; it panics on an empty accumulator,
+// like the batch Mean.
+func (m *Moments) Mean() float64 {
+	if m.n == 0 {
+		panic("stats: Moments.Mean of empty accumulator")
+	}
+	return m.mean
+}
+
+// Std returns the running sample standard deviation (n−1 denominator);
+// it panics with fewer than 2 observations, like the batch Std.
+func (m *Moments) Std() float64 {
+	if m.n < 2 {
+		panic("stats: Moments.Std needs at least 2 samples")
+	}
+	return math.Sqrt(m.m2 / float64(m.n-1))
+}
+
+// Min returns the smallest observation; it panics on empty input.
+func (m *Moments) Min() float64 {
+	if m.n == 0 {
+		panic("stats: Moments.Min of empty accumulator")
+	}
+	return m.min
+}
+
+// Max returns the largest observation; it panics on empty input.
+func (m *Moments) Max() float64 {
+	if m.n == 0 {
+		panic("stats: Moments.Max of empty accumulator")
+	}
+	return m.max
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm:
+// five markers whose heights converge to the p-quantile and its
+// bracketing positions, O(1) memory and O(1) per observation. Until
+// five observations have arrived the estimate is exact (computed from
+// the stored observations with the package's interpolation).
+type P2Quantile struct {
+	p   float64
+	n   int
+	q   [5]float64 // marker heights
+	pos [5]float64 // marker positions (1-based)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // desired position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the quantile p in (0, 1),
+// e.g. 0.5 for the median. It panics on out-of-range p.
+func NewP2Quantile(p float64) *P2Quantile {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: P2 quantile %v outside (0,1)", p))
+	}
+	return &P2Quantile{p: p}
+}
+
+// P returns the target quantile.
+func (s *P2Quantile) P() float64 { return s.p }
+
+// N returns the number of observations folded.
+func (s *P2Quantile) N() int { return s.n }
+
+// Add folds one observation.
+func (s *P2Quantile) Add(x float64) {
+	if s.n < 5 {
+		// Insertion into the sorted prefix.
+		i := s.n
+		for i > 0 && s.q[i-1] > x {
+			s.q[i] = s.q[i-1]
+			i--
+		}
+		s.q[i] = x
+		s.n++
+		if s.n == 5 {
+			p := s.p
+			s.pos = [5]float64{1, 2, 3, 4, 5}
+			s.des = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			s.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	s.n++
+
+	// Locate the cell and update the extreme markers.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		if x > s.q[4] {
+			s.q[4] = x
+		}
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.des {
+		s.des[i] += s.inc[i]
+	}
+
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.des[i] - s.pos[i]
+		if !((d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1)) {
+			continue
+		}
+		sign := 1.0
+		if d < 0 {
+			sign = -1
+		}
+		// Piecewise-parabolic prediction; fall back to linear when it
+		// would leave the bracketing heights.
+		qi := s.parabolic(i, sign)
+		if !(s.q[i-1] < qi && qi < s.q[i+1]) {
+			qi = s.linear(i, sign)
+		}
+		s.q[i] = qi
+		s.pos[i] += sign
+	}
+}
+
+func (s *P2Quantile) parabolic(i int, d float64) float64 {
+	q, n := &s.q, &s.pos
+	return q[i] + d/(n[i+1]-n[i-1])*
+		((n[i]-n[i-1]+d)*(q[i+1]-q[i])/(n[i+1]-n[i])+
+			(n[i+1]-n[i]-d)*(q[i]-q[i-1])/(n[i]-n[i-1]))
+}
+
+func (s *P2Quantile) linear(i int, d float64) float64 {
+	q, n := &s.q, &s.pos
+	j := i + int(d)
+	return q[i] + d*(q[j]-q[i])/(n[j]-n[i])
+}
+
+// Value returns the current quantile estimate. It panics on an empty
+// accumulator; with fewer than five observations it is exact.
+func (s *P2Quantile) Value() float64 {
+	if s.n == 0 {
+		panic("stats: P2Quantile.Value of empty accumulator")
+	}
+	if s.n < 5 {
+		return Sorted(s.q[:s.n]).Percentile(s.p * 100)
+	}
+	return s.q[2]
+}
+
+// WarmStart initializes the estimator from a sorted sample, as if its
+// observations had been folded already: the markers are placed on the
+// exact order statistics at their desired positions. Folding a bounded
+// exact prefix and warm-starting P² from it removes the algorithm's
+// cold-start error on autocorrelated series — the hybrid the
+// StreamingQuantiles type packages. The receiver must be empty and the
+// sample at least five observations.
+func (s *P2Quantile) WarmStart(sorted Sorted) {
+	if s.n != 0 {
+		panic("stats: WarmStart on a non-empty estimator")
+	}
+	n := len(sorted)
+	if n < 5 {
+		panic("stats: WarmStart needs at least 5 observations")
+	}
+	p := s.p
+	s.n = n
+	s.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	for i, d := range s.inc {
+		want := 1 + float64(n-1)*d
+		s.des[i] = want
+		pos := int(math.Round(want))
+		// Clamp to strict monotonicity with the ends pinned.
+		if lo := i + 1; pos < lo {
+			pos = lo
+		}
+		if hi := n - (4 - i); pos > hi {
+			pos = hi
+		}
+		if i > 0 && float64(pos) <= s.pos[i-1] {
+			pos = int(s.pos[i-1]) + 1
+		}
+		s.pos[i] = float64(pos)
+		s.q[i] = sorted[pos-1]
+	}
+}
+
+// DefaultExactPrefix is the exact-prefix budget of StreamingQuantiles:
+// 32k float64s, 256 KiB — a fixed constant independent of stream
+// length. Experiment report series below it (every quick-mode run, and
+// every windowed accumulator) are summarized exactly; longer streams
+// pay P²'s documented approximation only past this horizon, warm-
+// started from an already-converged marker placement.
+const DefaultExactPrefix = 32768
+
+// StreamingQuantiles estimates several quantiles of one stream in
+// bounded memory with a hybrid scheme: observations are buffered
+// exactly up to a fixed prefix budget; if the stream outgrows it, the
+// buffer is sorted once, each level's P² estimator is warm-started
+// from the exact order statistics, the buffer is released, and
+// subsequent observations fold in O(1). Short streams (the common case
+// for report summaries) therefore get *exact* answers, and long
+// streams get P² without its cold-start error on autocorrelated
+// series — at a memory ceiling that never depends on the stream.
+type StreamingQuantiles struct {
+	levels []float64
+	limit  int
+
+	buf    []float64 // exact prefix; nil once switched to P²
+	sorted bool      // buf is currently sorted
+	ests   []*P2Quantile
+	n      int
+}
+
+// NewStreamingQuantiles returns an empty accumulator for the given
+// quantile levels in (0, 1), with the DefaultExactPrefix budget. It
+// panics on out-of-range levels, like NewP2Quantile.
+func NewStreamingQuantiles(levels ...float64) *StreamingQuantiles {
+	s := &StreamingQuantiles{
+		levels: append([]float64(nil), levels...),
+		limit:  DefaultExactPrefix,
+	}
+	for _, p := range levels {
+		if !(p > 0 && p < 1) {
+			panic(fmt.Sprintf("stats: quantile level %v outside (0,1)", p))
+		}
+	}
+	return s
+}
+
+// SetExactPrefix overrides the exact-prefix budget (at least 5, the P²
+// marker count). It must be called before the first Add.
+func (s *StreamingQuantiles) SetExactPrefix(n int) {
+	if s.n != 0 {
+		panic("stats: SetExactPrefix after observations were folded")
+	}
+	if n < 5 {
+		panic("stats: exact prefix must hold at least 5 observations")
+	}
+	s.limit = n
+}
+
+// Add folds one observation.
+func (s *StreamingQuantiles) Add(x float64) {
+	s.n++
+	if s.ests != nil {
+		for _, e := range s.ests {
+			e.Add(x)
+		}
+		return
+	}
+	s.buf = append(s.buf, x)
+	s.sorted = false
+	if len(s.buf) < s.limit {
+		return
+	}
+	// Switch regimes: one sort, then exact warm starts.
+	sorted := NewSorted(s.buf)
+	s.ests = make([]*P2Quantile, len(s.levels))
+	for i, p := range s.levels {
+		s.ests[i] = NewP2Quantile(p)
+		s.ests[i].WarmStart(sorted)
+	}
+	s.buf, s.sorted = nil, false
+}
+
+// N returns the number of observations folded.
+func (s *StreamingQuantiles) N() int { return s.n }
+
+// Exact reports whether the accumulator is still in the exact-prefix
+// regime (every Value is an exact order statistic).
+func (s *StreamingQuantiles) Exact() bool { return s.ests == nil }
+
+// Value returns the current estimate of level i (indexing the levels
+// passed at construction). It panics on an empty accumulator.
+func (s *StreamingQuantiles) Value(i int) float64 {
+	if s.n == 0 {
+		panic("stats: StreamingQuantiles.Value of empty accumulator")
+	}
+	if s.ests != nil {
+		return s.ests[i].Value()
+	}
+	if !s.sorted {
+		s.buf = []float64(NewSorted(s.buf))
+		s.sorted = true
+	}
+	return Sorted(s.buf).Percentile(s.levels[i] * 100)
+}
+
+// StreamingFiveNum folds the paper's five percentile curves online: a
+// StreamingQuantiles over the levels of PaperPercentiles.
+type StreamingFiveNum struct {
+	qs *StreamingQuantiles
+}
+
+// NewStreamingFiveNum returns an empty accumulator.
+func NewStreamingFiveNum() *StreamingFiveNum {
+	levels := make([]float64, len(PaperPercentiles))
+	for i, p := range PaperPercentiles {
+		levels[i] = p / 100
+	}
+	return &StreamingFiveNum{qs: NewStreamingQuantiles(levels...)}
+}
+
+// Add folds one observation into all five estimators.
+func (f *StreamingFiveNum) Add(x float64) { f.qs.Add(x) }
+
+// N returns the number of observations folded.
+func (f *StreamingFiveNum) N() int { return f.qs.N() }
+
+// FiveNum returns the current five-number estimate. It panics on an
+// empty accumulator, like the batch FiveNumOf.
+func (f *StreamingFiveNum) FiveNum() FiveNum {
+	if f.qs.N() == 0 {
+		panic("stats: StreamingFiveNum of empty accumulator")
+	}
+	return FiveNum{
+		P99: f.qs.Value(0), P75: f.qs.Value(1), P50: f.qs.Value(2),
+		P25: f.qs.Value(3), P01: f.qs.Value(4),
+	}
+}
+
+// Median returns the current median estimate.
+func (f *StreamingFiveNum) Median() float64 { return f.qs.Value(2) }
+
+// IQR returns the current inter-quartile range estimate.
+func (f *StreamingFiveNum) IQR() float64 { return f.qs.Value(1) - f.qs.Value(3) }
+
+// MedianAbs estimates the median of |x| online: the robust error scale
+// the experiment reports summarize series by.
+type MedianAbs struct {
+	q *StreamingQuantiles
+}
+
+// NewMedianAbs returns an empty accumulator.
+func NewMedianAbs() *MedianAbs { return &MedianAbs{q: NewStreamingQuantiles(0.5)} }
+
+// Add folds one observation (its absolute value is accumulated).
+func (m *MedianAbs) Add(x float64) { m.q.Add(math.Abs(x)) }
+
+// N returns the number of observations folded.
+func (m *MedianAbs) N() int { return m.q.N() }
+
+// Value returns the current median-|x| estimate; it panics on an empty
+// accumulator.
+func (m *MedianAbs) Value() float64 { return m.q.Value(0) }
