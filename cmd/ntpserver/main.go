@@ -120,19 +120,19 @@ func main() {
 		mode, *refid, sh.Addr(), sh.Size(), reuse)
 
 	if *stats > 0 {
-		go logStats(ctx, srv, ml, sample, *stats)
+		go logStats(ctx, srv, sh, ml, sample, *stats)
 	}
 
 	err = sh.Serve(ctx)
 	// Drained: report the final counters before exiting.
-	fmt.Printf("shutdown: %s\n", statsLine(srv, ml, sample))
+	fmt.Printf("shutdown: %s\n", statsLine(srv, sh, ml, sample))
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
 // logStats prints one counter line per period until the context ends.
-func logStats(ctx context.Context, srv *ntp.Server, ml *tscclock.MultiLive, sample ntp.SampleClock, period time.Duration) {
+func logStats(ctx context.Context, srv *ntp.Server, sh *ntp.Shards, ml *tscclock.MultiLive, sample ntp.SampleClock, period time.Duration) {
 	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
@@ -140,22 +140,47 @@ func logStats(ctx context.Context, srv *ntp.Server, ml *tscclock.MultiLive, samp
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			log.Print(statsLine(srv, ml, sample))
+			log.Print(statsLine(srv, sh, ml, sample))
 		}
 	}
 }
 
-// statsLine renders the serving counters — and in relay mode the
-// ensemble's health, read through the same sample the shards serve
-// from — all lock-free.
-func statsLine(srv *ntp.Server, ml *tscclock.MultiLive, sample ntp.SampleClock) string {
+// statsLine renders the serving counters, the shard supervisor's
+// restart tally, and in relay mode the ensemble's health — its
+// degradation-ladder state and upstream connectivity included — read
+// through the same sample the shards serve from, all lock-free.
+func statsLine(srv *ntp.Server, sh *ntp.Shards, ml *tscclock.MultiLive, sample ntp.SampleClock) string {
 	st := srv.Stats()
 	line := fmt.Sprintf("served %d/%d requests (dropped %d: %d short, %d malformed, %d non-client; %d write errors)",
 		st.Replied, st.Requests, st.Dropped(), st.Short, st.Malformed, st.NonClient, st.WriteErrors)
+	var restarts uint64
+	var lastErr error
+	for _, s := range sh.Stats() {
+		restarts += s.Restarts
+		if s.LastError != nil {
+			lastErr = s.LastError
+		}
+	}
+	if restarts > 0 {
+		line += fmt.Sprintf("; %d shard restarts (last: %v)", restarts, lastErr)
+	}
 	if ml != nil {
 		r := ml.Ensemble().Readout()
-		line += fmt.Sprintf("; upstream: %d exchanges, %d/%d ready, %d selected, %d falsetickers, synced=%v, stratum %d",
-			r.Exchanges, r.ReadyCount, len(r.Servers), r.SelectedCount, r.Falsetickers, r.Synced(), sample().Stratum)
+		line += fmt.Sprintf("; upstream: %s, %d voting, %d exchanges, %d/%d ready, %d selected, %d falsetickers, stratum %d",
+			r.State(ml.Counter()), r.VotingCount, r.Exchanges, r.ReadyCount, len(r.Servers),
+			r.SelectedCount, r.Falsetickers, sample().Stratum)
+		connected, redials, dialFails := 0, uint64(0), uint64(0)
+		for _, up := range ml.UpstreamStates() {
+			if up.Connected {
+				connected++
+			}
+			if up.Dials > 1 {
+				redials += up.Dials - 1
+			}
+			dialFails += up.DialFailures
+		}
+		line += fmt.Sprintf("; conns: %d/%d up, %d redials, %d dial failures",
+			connected, len(ml.UpstreamStates()), redials, dialFails)
 	}
 	return line
 }

@@ -3,6 +3,7 @@ package tscclock
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ensemble"
@@ -36,6 +37,25 @@ type EnsembleOptions struct {
 	// selection, a minority of agreeing servers holding more than half
 	// the total weight can drag the combined clock.
 	DisableSelection bool
+
+	// MinVotingSynced is the degradation-ladder quorum: the number of
+	// fresh voting servers required for the combined clock to report
+	// SYNCED (fewer is DEGRADED, none is HOLDOVER). Zero takes the
+	// default majority, Servers/2+1.
+	MinVotingSynced int
+	// RecoverAfter is the ladder's upgrade hysteresis: consecutive
+	// exchanges at a better level before the state actually rises
+	// (downgrades are immediate). Zero takes the default (3).
+	RecoverAfter int
+	// StaleAfterPolls is how many polling periods without an answer
+	// cost a server its vote. Zero takes the default (8).
+	StaleAfterPolls int
+	// HoldoverAfter and UnsyncedAfter are the read-time staleness caps:
+	// a readout older than HoldoverAfter reads as at most HOLDOVER, and
+	// older than UnsyncedAfter as UNSYNCED. Zero takes the defaults
+	// (8 and 128 polling periods, floored at 1 min and 1 h).
+	HoldoverAfter time.Duration
+	UnsyncedAfter time.Duration
 }
 
 // EnsembleStatus reports the state after one exchange through the
@@ -74,6 +94,13 @@ type EnsembleStatus struct {
 	// per-path asymmetry error that no single server/path can observe
 	// about itself (paper §2.3). Zero for servers still in warmup.
 	AsymmetryHint []float64
+	// State is the degradation-ladder state after this exchange
+	// (writer-side: read-time staleness capping does not apply here,
+	// since the exchange itself is fresh).
+	State ensemble.State
+	// VotingCount is the number of servers backing the combined vote:
+	// ready, selected, fresh, and holding an offset estimate.
+	VotingCount int
 }
 
 // Ensemble is the multi-server counterpart of Clock: one calibration
@@ -110,6 +137,11 @@ func NewEnsemble(opts EnsembleOptions) (*Ensemble, error) {
 		AgreementFactor:  opts.AgreementFactor,
 		ReadmitAfter:     opts.ReadmitAfter,
 		DisableSelection: opts.DisableSelection,
+		MinVotingSynced:  opts.MinVotingSynced,
+		RecoverAfter:     opts.RecoverAfter,
+		StaleAfterPolls:  opts.StaleAfterPolls,
+		HoldoverAfter:    opts.HoldoverAfter.Seconds(),
+		UnsyncedAfter:    opts.UnsyncedAfter.Seconds(),
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +195,8 @@ func (e *Ensemble) processWithIdentity(server int, ta, tf uint64, tb, te float64
 		Selected:      sel,
 		Falsetickers:  r.Falsetickers,
 		AsymmetryHint: hint,
+		State:         r.BaseState,
+		VotingCount:   r.VotingCount,
 	}, nil
 }
 
@@ -202,6 +236,20 @@ func (e *Ensemble) Weights() []float64 {
 // ServerStates returns the per-server trust diagnostics. Lock-free.
 func (e *Ensemble) ServerStates() []ensemble.ServerState {
 	return e.ens.Readout().ServerStates()
+}
+
+// State returns the degradation-ladder state of the combined clock as
+// read at the given counter value: the writer-side base state capped by
+// how stale the latest combine is (older than HoldoverAfter reads as at
+// most HOLDOVER, older than UnsyncedAfter as UNSYNCED). Lock-free.
+func (e *Ensemble) State(counter uint64) ensemble.State {
+	return e.ens.Readout().State(counter)
+}
+
+// Health returns the serving-facing health summary of the voting set
+// (frozen at the last trusted combine while no server votes). Lock-free.
+func (e *Ensemble) Health() ensemble.Health {
+	return e.ens.Readout().Health
 }
 
 // Exchanges returns the total number of exchanges processed. Lock-free.

@@ -95,6 +95,24 @@ type Config struct {
 	// weighted median runs over every ready server, as the pre-selection
 	// combiner did. For ablation and experiments.
 	DisableSelection bool
+
+	// Degradation ladder (see ladder.go). MinVotingSynced is the voting
+	// quorum for StateSynced (default: a strict majority, len/2+1).
+	// RecoverAfter is the hysteresis: consecutive exchanges at a better
+	// level before an upgrade takes (default 3). StaleAfterPolls is the
+	// per-server freshness bound in polling periods — a server whose
+	// last exchange is older loses its vote (default 8).
+	MinVotingSynced int
+	RecoverAfter    int
+	StaleAfterPolls int
+
+	// HoldoverAfter and UnsyncedAfter are read-time staleness caps in
+	// seconds of combined-readout age: past HoldoverAfter the published
+	// state is capped at StateHoldover, past UnsyncedAfter at
+	// StateUnsynced. Defaults scale with the largest engine polling
+	// period: max(8·poll, 60) and max(128·poll, 3600).
+	HoldoverAfter float64
+	UnsyncedAfter float64
 }
 
 func (c *Config) setDefaults() {
@@ -109,6 +127,27 @@ func (c *Config) setDefaults() {
 	}
 	if c.ReadmitAfter == 0 {
 		c.ReadmitAfter = 8
+	}
+	if c.MinVotingSynced == 0 {
+		c.MinVotingSynced = len(c.Engines)/2 + 1
+	}
+	if c.RecoverAfter == 0 {
+		c.RecoverAfter = 3
+	}
+	if c.StaleAfterPolls == 0 {
+		c.StaleAfterPolls = 8
+	}
+	maxPoll := 0.0
+	for _, ec := range c.Engines {
+		if ec.PollPeriod > maxPoll {
+			maxPoll = ec.PollPeriod
+		}
+	}
+	if c.HoldoverAfter == 0 {
+		c.HoldoverAfter = math.Max(8*maxPoll, 60)
+	}
+	if c.UnsyncedAfter == 0 {
+		c.UnsyncedAfter = math.Max(128*maxPoll, 3600)
 	}
 }
 
@@ -130,6 +169,24 @@ func (c Config) Validate() error {
 	}
 	if c.ReadmitAfter < 0 {
 		return fmt.Errorf("ensemble: ReadmitAfter must be non-negative")
+	}
+	if c.MinVotingSynced != 0 && (c.MinVotingSynced < 1 || c.MinVotingSynced > len(c.Engines)) {
+		return fmt.Errorf("ensemble: MinVotingSynced %d outside [1,%d]", c.MinVotingSynced, len(c.Engines))
+	}
+	if c.RecoverAfter < 0 {
+		return fmt.Errorf("ensemble: RecoverAfter must be non-negative")
+	}
+	if c.StaleAfterPolls < 0 {
+		return fmt.Errorf("ensemble: StaleAfterPolls must be non-negative")
+	}
+	if c.HoldoverAfter != 0 && !(c.HoldoverAfter > 0) {
+		return fmt.Errorf("ensemble: HoldoverAfter %v must be positive", c.HoldoverAfter)
+	}
+	if c.UnsyncedAfter != 0 && !(c.UnsyncedAfter > 0) {
+		return fmt.Errorf("ensemble: UnsyncedAfter %v must be positive", c.UnsyncedAfter)
+	}
+	if c.HoldoverAfter > 0 && c.UnsyncedAfter > 0 && c.UnsyncedAfter < c.HoldoverAfter {
+		return fmt.Errorf("ensemble: UnsyncedAfter %v below HoldoverAfter %v", c.UnsyncedAfter, c.HoldoverAfter)
 	}
 	for i, ec := range c.Engines {
 		if err := ec.Validate(); err != nil {
@@ -236,6 +293,18 @@ type Ensemble struct {
 	sel    []bool     // Snapshot.Selected backing
 	hint   []float64  // Snapshot.AsymmetryHint backing
 
+	// Degradation ladder state (see ladder.go): the writer-side rung,
+	// the recovery hysteresis streak, whether the combine was ever
+	// trusted (gates HOLDOVER vs UNSYNCED), the rate frozen at the last
+	// trusted combine, the serving health summary, and the voting set.
+	base        State
+	upStreak    int
+	everTrusted bool
+	frozenRate  float64
+	health      Health
+	voting      []bool
+	votingCount int
+
 	// Lock-free publication (see readout.go): lastTf anchors the
 	// combined readout's staleness, pub holds the published snapshot.
 	lastTf uint64
@@ -263,6 +332,7 @@ func New(cfg Config) (*Ensemble, error) {
 		widths:  make([]float64, 0, n),
 		sel:     make([]bool, n),
 		hint:    make([]float64, n),
+		voting:  make([]bool, n),
 	}
 	for i, ec := range cfg.Engines {
 		s, err := core.NewSync(ec)
@@ -297,6 +367,7 @@ func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 	e.members[server].observe(&e.cfg, &e.cfg.Engines[server], res)
 	e.updateSelection(in.Tf)
 	e.lastTf = in.Tf
+	e.updateLadder()
 	e.publish()
 	return res, nil
 }
@@ -314,6 +385,12 @@ func (e *Ensemble) ObserveIdentity(server int, id core.Identity) (bool, error) {
 	changed := e.engines[server].ObserveIdentity(id)
 	if changed {
 		e.members[server].penalty += e.cfg.Engines[server].OffsetSanity
+	}
+	// A new identity can change the advertised stratum chain, so the
+	// serving health must track it (the voting set itself only moves on
+	// Process).
+	if e.votingCount > 0 {
+		e.refreshHealth()
 	}
 	// The server's identity is part of the published readout (relay
 	// serving derives its advertised stratum from it), so republish
@@ -671,8 +748,13 @@ func (e *Ensemble) AbsoluteTime(T uint64) float64 {
 }
 
 // RateHat returns the combined rate estimate (seconds per counter
-// cycle): the weighted median of the selected servers' p̂.
+// cycle): the weighted median of the selected servers' p̂ — frozen at
+// the last trusted combine while the ladder sits below DEGRADED
+// (coasting on a live median of unfit servers would defeat holdover).
 func (e *Ensemble) RateHat() float64 {
+	if e.frozenActive() {
+		return e.frozenRate
+	}
 	for k, s := range e.engines {
 		e.rates[k], _ = s.Clock()
 	}
@@ -737,6 +819,9 @@ func (e *Ensemble) TakeSnapshot(T uint64) Snapshot {
 		AbsoluteTime:  weightedMedianBuf(e.vals, ws, e.items),
 		Selected:      e.sel,
 		AsymmetryHint: e.hint,
+	}
+	if e.frozenActive() {
+		snap.Rate = e.frozenRate
 	}
 	for k := range e.members {
 		m := &e.members[k]

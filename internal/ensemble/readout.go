@@ -85,6 +85,44 @@ type Readout struct {
 	// to any server: the staleness anchor of the whole combine. Age
 	// converts it to seconds.
 	LastTf uint64
+
+	// Degradation ladder (see ladder.go). BaseState is the writer-side
+	// rung at publish time; State(T) caps it by the readout's age.
+	// Health is the serving summary of the voting set (frozen at the
+	// last trusted combine while nothing votes); VotingCount is the
+	// number of servers behind it. In BaseState < StateDegraded the
+	// published Rate is the frozen holdover rate, not a live median.
+	BaseState   State
+	Health      Health
+	VotingCount int
+
+	// HoldoverAfter and UnsyncedAfter are the read-time staleness caps
+	// (seconds of readout age), copied from the configuration so State
+	// stays a pure function of the snapshot.
+	HoldoverAfter float64
+	UnsyncedAfter float64
+}
+
+// State returns the degradation-ladder state at counter value T: the
+// published base state capped by the readout's age. A combine whose
+// newest exchange is older than HoldoverAfter cannot claim better than
+// HOLDOVER no matter how healthy it looked when it was published —
+// this is the only ladder path that works during a *total* outage,
+// when no exchange arrives to move the writer-side state at all. Past
+// UnsyncedAfter the frozen drift bound itself is stale and the clock
+// reports UNSYNCED.
+func (r *Readout) State(T uint64) State {
+	if r.BaseState == StateUnsynced {
+		return StateUnsynced
+	}
+	age := r.Age(T)
+	switch {
+	case age > r.UnsyncedAfter:
+		return StateUnsynced
+	case age > r.HoldoverAfter && r.BaseState > StateHoldover:
+		return StateHoldover
+	}
+	return r.BaseState
 }
 
 // readScratch bounds the stack scratch of the lock-free read path;
@@ -232,6 +270,11 @@ func (e *Ensemble) publish() {
 	}
 	ro := e.pub.nextSlot(len(e.members))
 	ro.LastTf = e.lastTf
+	ro.BaseState = e.base
+	ro.Health = e.health
+	ro.VotingCount = e.votingCount
+	ro.HoldoverAfter = e.cfg.HoldoverAfter
+	ro.UnsyncedAfter = e.cfg.UnsyncedAfter
 	for k := range e.members {
 		m := &e.members[k]
 		sr := &ro.Servers[k]
@@ -278,6 +321,15 @@ func (e *Ensemble) publish() {
 		ro.Rate = medianOfItems(items, wTotal)
 	case len(ro.Servers) > 0:
 		ro.Rate = ro.Servers[0].Clock.P
+	}
+	// Holdover rate freeze, applied identically here and in the
+	// writer-side RateHat so readout and writer reads stay bitwise
+	// equal: below DEGRADED the last trusted rate is served; at or
+	// above it the live median becomes the new trusted rate.
+	if e.frozenActive() {
+		ro.Rate = e.frozenRate
+	} else {
+		e.frozenRate = ro.Rate
 	}
 	e.pub.store(ro)
 }

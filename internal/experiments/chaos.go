@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ensemble"
+	"repro/internal/sim"
+	"repro/internal/timebase"
+)
+
+// runChaos drives the full robustness stack through a scheduled
+// multi-day fault campaign — the degradation ladder's acceptance test.
+// One host polls three statistically identical stratum-1 servers while
+// the fault schedule walks through the failure modes a real deployment
+// meets:
+//
+//   - a network partition cuts two of the three servers: the combined
+//     clock must drop to DEGRADED (quorum lost) while tracking the
+//     surviving server, then recover to SYNCED when the partition
+//     heals;
+//   - a total upstream outage blackholes every server: the clock must
+//     enter HOLDOVER, coast on the frozen p̂_l with its error inside
+//     the advertised ErrScale + DriftBound·age envelope for the whole
+//     outage, and re-synchronize afterwards without a restart;
+//   - one server dies and comes back permanently wrong by 2 ms: the
+//     selection stage must evict the returned falseticker while the
+//     ladder keeps reporting SYNCED off the two good servers.
+//
+// Throughout, the combined clock must never read UNSYNCED once it has
+// first synchronized.
+func runChaos(opts Options) (*Report, error) {
+	r := newReport("chaos", Title("chaos"))
+	const poll = 16.0
+	dur := opts.scale(2 * timebase.Day)
+
+	partFrom, partTo := 0.20*dur, 0.28*dur
+	outFrom, outTo := 0.45*dur, 0.55*dur
+	deathAt, deathFor := 0.70*dur, 0.05*dur
+	const stepAfter = 2 * timebase.Millisecond
+
+	servers := []sim.ServerSpec{sim.ServerInt(), sim.ServerInt(), sim.ServerInt()}
+	sc := sim.NewMultiScenario(sim.MachineRoom, servers, poll, dur, opts.seed())
+	sc.AddPartition([]int{1, 2}, partFrom, partTo)
+	sc.AddTotalOutage(outFrom, outTo)
+	sc.AddServerDeathRestart(1, deathAt, deathFor, stepAfter)
+
+	st, err := sim.NewMultiStream(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	const (
+		holdoverAfter = 64.0 // read-time staleness cap for this run
+		staleAfter    = 8    // polls without an answer before a vote is lost
+	)
+	ens, err := ensemble.New(ensemble.Config{
+		Engines:         []core.Config{defaultCfg(poll), defaultCfg(poll), defaultCfg(poll)},
+		MinVotingSynced: 2,
+		RecoverAfter:    3,
+		StaleAfterPolls: staleAfter,
+		HoldoverAfter:   holdoverAfter,
+		UnsyncedAfter:   2 * dur, // never reached in this run
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	series, err := r.newSeries(opts, "series", "t_day", "state", "err_us", "bound_us", "voting")
+	if err != nil {
+		return nil, err
+	}
+
+	// Grid sampling between exchanges: the clock's health as downstream
+	// readers see it, including through the outage when no exchange
+	// arrives to move the writer.
+	const gridStep = 32.0
+	osc := st.Osc()
+	var (
+		gridT = gridStep
+
+		everSynced       bool
+		unsyncedAfterUp  int
+		holdoverPts      int
+		holdoverBreaks   int
+		worstBoundRatio  float64
+		degradedPts      int
+		degradedWrong    int
+		recoveredBetween bool
+
+		preFault []float64
+		tailErrs []float64
+
+		outRecoverAt = math.Inf(1)
+	)
+	// Lags before a window's expected state is asserted: staleness must
+	// be noticed (staleLag) and the readout must age past the holdover
+	// cap (holdGrace).
+	staleLag := staleAfter*poll + 2*poll
+	holdGrace := holdoverAfter + 2*poll
+
+	sample := func(t float64) error {
+		T := osc.ReadTSC(t)
+		ro := ens.Readout()
+		state := ro.State(T)
+		errT := ro.AbsoluteTime(T) - t
+		h := ro.Health
+		bound := h.ErrScale + h.DriftBound*ro.Age(T)
+
+		if everSynced && state == ensemble.StateUnsynced {
+			unsyncedAfterUp++
+		}
+		switch {
+		case t >= outFrom+holdGrace && t < outTo:
+			holdoverPts++
+			if state != ensemble.StateHoldover {
+				holdoverBreaks++
+			}
+			if bound > 0 {
+				if ratio := math.Abs(errT) / bound; ratio > worstBoundRatio {
+					worstBoundRatio = ratio
+				}
+			}
+		case t >= partFrom+staleLag && t < partTo:
+			degradedPts++
+			if state != ensemble.StateDegraded {
+				degradedWrong++
+			}
+		case t >= partTo+staleLag && t < outFrom && state == ensemble.StateSynced:
+			recoveredBetween = true
+		}
+		if t >= 0.15*dur && t < partFrom {
+			preFault = append(preFault, errT)
+		}
+		if t >= deathAt+deathFor+0.05*dur {
+			tailErrs = append(tailErrs, errT)
+		}
+		return series.Append(t/timebase.Day, float64(state), errT/1e-6, bound/1e-6, float64(ro.VotingCount))
+	}
+
+	minWeight1 := math.Inf(1)
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		for gridT < e.TrueTf {
+			if err := sample(gridT); err != nil {
+				return nil, err
+			}
+			gridT += gridStep
+		}
+		if e.Lost {
+			continue
+		}
+		if _, err := ens.Process(e.Server, core.Input{Ta: e.Ta, Tf: e.Tf, Tb: e.Tb, Te: e.Te}); err != nil {
+			return nil, fmt.Errorf("chaos: server %d seq %d: %w", e.Server, e.Seq, err)
+		}
+		ro := ens.Readout()
+		if ro.BaseState == ensemble.StateSynced {
+			everSynced = true
+		}
+		if e.TrueTf >= outTo && e.TrueTf < outRecoverAt && ro.State(e.Tf) == ensemble.StateSynced {
+			outRecoverAt = e.TrueTf
+		}
+		if e.TrueTf > deathAt+deathFor {
+			if w := ro.Weights()[1]; w < minWeight1 {
+				minWeight1 = w
+			}
+		}
+	}
+	if err := series.Close(); err != nil {
+		return nil, err
+	}
+
+	preMed := medianAbs(preFault)
+	tailMed := medianAbs(tailErrs)
+	recoverTime := outRecoverAt - outTo
+	final := ens.Readout()
+
+	r.addLine("schedule: partition{1,2} %.2f–%.2f d, total outage %.2f–%.2f d, server 1 dead %.2f–%.2f d then +%s forever",
+		partFrom/timebase.Day, partTo/timebase.Day, outFrom/timebase.Day, outTo/timebase.Day,
+		deathAt/timebase.Day, (deathAt+deathFor)/timebase.Day, timebase.FormatDuration(stepAfter))
+	r.addLine("holdover: %d grid points, worst |err|/bound %.3f; recovery to SYNCED %.0f s after outage end",
+		holdoverPts, worstBoundRatio, recoverTime)
+	r.addLine("medians |err|: pre-fault %s, post-falseticker tail %s; server 1 min weight after return %.3f",
+		timebase.FormatDuration(preMed), timebase.FormatDuration(tailMed), minWeight1)
+
+	r.addCheck("total outage lands in HOLDOVER", "all grid points in the outage window",
+		fmt.Sprintf("%d/%d holdover", holdoverPts-holdoverBreaks, holdoverPts),
+		holdoverPts > 0 && holdoverBreaks == 0)
+	r.addCheck("holdover error inside advertised envelope", "|err| ≤ ErrScale + DriftBound·age",
+		fmt.Sprintf("worst ratio %.3f", worstBoundRatio),
+		worstBoundRatio > 0 && worstBoundRatio <= 1)
+	r.addCheck("partition degrades without killing the clock", "all grid points DEGRADED",
+		fmt.Sprintf("%d/%d degraded", degradedPts-degradedWrong, degradedPts),
+		degradedPts > 0 && degradedWrong == 0)
+	r.addCheck("SYNCED again between partition and outage", "recovered", fmt.Sprint(recoveredBetween), recoveredBetween)
+	r.addCheck("re-syncs after the outage without restart", fmt.Sprintf("≤ %.0f s", 10*poll),
+		fmt.Sprintf("%.0f s", recoverTime), recoverTime <= 10*poll)
+	r.addCheck("returned falseticker outvoted", "weight < 0.20, tail ≤ 2× pre-fault",
+		fmt.Sprintf("weight %.3f, %.2fx", minWeight1, tailMed/preMed),
+		minWeight1 < 0.20 && tailMed <= 2*preMed)
+	r.addCheck("never UNSYNCED once synchronized", "0 grid points",
+		fmt.Sprint(unsyncedAfterUp), everSynced && unsyncedAfterUp == 0)
+	_ = final
+	return r, nil
+}

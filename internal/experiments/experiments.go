@@ -171,6 +171,7 @@ func init() {
 		{"ensemble", "Faulty-server containment by the multi-server ensemble clock", runEnsemble},
 		{"select", "Colluding-minority rejection by interval-intersection selection", runSelect},
 		{"longrun", "Multi-week streaming run: windowed error and online Allan series", runLongRun},
+		{"chaos", "Fault-schedule survival: degradation ladder, holdover bound, recovery", runChaos},
 	}
 }
 

@@ -260,29 +260,101 @@ func TestServeSurvivesWriteError(t *testing.T) {
 	}
 }
 
-// TestShardsFailFast: when one shard dies with a genuine error, Serve
-// must close the remaining shards and report the error promptly — not
-// silently keep serving on a partial shard set until the context ends.
-func TestShardsFailFast(t *testing.T) {
+// TestShardsPoisonPill: a shard that keeps dying without a healthy
+// stint exhausts its restart budget; Serve must then close the
+// remaining shards and report the error — not silently keep serving on
+// a partial shard set until the context ends.
+func TestShardsPoisonPill(t *testing.T) {
 	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	boom := errors.New("fd fell over")
-	sh := &Shards{srv: srv, reuseport: true, pcs: []net.PacketConn{
-		&blockingConn{closed: make(chan struct{})},
-		&failingConn{err: boom},
-		&blockingConn{closed: make(chan struct{})},
-	}}
+	sh := &Shards{srv: srv, reuseport: true,
+		backoffMin: time.Millisecond,
+		restartMax: 3,
+		rebindFn: func() (net.PacketConn, error) {
+			return &failingConn{err: boom}, nil
+		},
+		pcs: []net.PacketConn{
+			&blockingConn{closed: make(chan struct{})},
+			&failingConn{err: boom},
+			&blockingConn{closed: make(chan struct{})},
+		}}
 	done := make(chan error, 1)
 	go func() { done <- sh.Serve(context.Background()) }()
 	select {
 	case err := <-done:
-		if err != boom {
-			t.Fatalf("Serve = %v, want the shard's error", err)
+		if !errors.Is(err, boom) {
+			t.Fatalf("Serve = %v, want the shard's error wrapped", err)
 		}
 	case <-time.After(2 * time.Second):
-		t.Fatal("Serve did not fail fast on a dead shard")
+		t.Fatal("Serve did not fail on a poisoned shard")
+	}
+	st := sh.Stats()
+	if st[1].Restarts != 4 || !errors.Is(st[1].LastError, boom) {
+		t.Errorf("poisoned shard stats = %+v, want 4 failures ending in the error", st[1])
+	}
+	if st[0].Restarts != 0 || st[2].Restarts != 0 {
+		t.Errorf("healthy shards restarted: %+v", st)
+	}
+}
+
+// TestShardsRestartRecovers: a shard whose socket dies transiently is
+// restarted on a freshly bound socket and serves again — counted in
+// Stats, with no error surfaced to Serve.
+func TestShardsRestartRecovers(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fd fell over")
+	replacement, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebinds := 0
+	sh := &Shards{srv: srv, reuseport: true,
+		backoffMin: time.Millisecond,
+		rebindFn: func() (net.PacketConn, error) {
+			rebinds++
+			if rebinds == 1 {
+				return &failingConn{err: boom}, nil
+			}
+			return replacement, nil
+		},
+		pcs: []net.PacketConn{&failingConn{err: boom}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sh.Serve(ctx) }()
+
+	// Two failures (the initial socket and the first rebind), then the
+	// real replacement socket must answer queries.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := sh.Stats(); st[0].Restarts >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never restarted twice: %+v", sh.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rawQuery(t, replacement.LocalAddr(), clientPacket(4), true)
+	st := sh.Stats()
+	if st[0].Restarts != 2 || !errors.Is(st[0].LastError, boom) {
+		t.Errorf("stats after recovery = %+v, want exactly 2 failures", st[0])
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after recovery and cancel = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not drain after cancellation")
 	}
 }
 

@@ -1,0 +1,151 @@
+package sim
+
+// Deterministic fault schedules for multi-server scenarios: the
+// injection half of the robustness evaluation. A schedule is plain
+// data on the MultiScenario — per-server blackholes (ServerOutage),
+// partitions hitting a subset of servers at once (Partition), wholesale
+// outages (the existing Gaps), server-clock step events and
+// death/restart cycles — so the same seed with the same schedule
+// reproduces the same trace bit for bit, and an empty schedule leaves
+// the generated trace untouched.
+//
+// Faults compose with the streaming generators: MultiStream consults
+// the schedule per emission, so multi-week chaos scenarios still run in
+// constant memory. A blackholed exchange is marked Lost and consumes no
+// path/server draws, exactly like ordinary loss — loss, timeouts and
+// blackholes are all the same absence of data to the synchronization
+// algorithms, which is the paper's robustness premise. Note that
+// injecting loss therefore shifts the *shared* host/DAG draw sequence
+// of every later exchange: traces with different schedules are not
+// comparable exchange-by-exchange (schedules that only lie — server
+// steps — are, since every exchange still completes).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netem"
+	"repro/internal/rng"
+)
+
+// ServerOutage blackholes one server's exchanges during [From, To)
+// seconds of true time: a server crash, an unreachable route, or — with
+// LossProb set — a flaky window in which each exchange is lost with
+// that probability instead of surely (request-timeout churn). LossProb
+// zero means total blackhole.
+type ServerOutage struct {
+	Server   int
+	From, To float64
+	LossProb float64
+}
+
+// Partition blackholes a subset of servers at once during [From, To):
+// the network split case, in which the surviving majority must carry
+// the combined clock while the split lasts.
+type Partition struct {
+	Servers  []int
+	From, To float64
+}
+
+// validateFaults checks the fault schedule against the server count.
+func (s *MultiScenario) validateFaults() error {
+	n := len(s.Servers)
+	for i, o := range s.Outages {
+		if o.Server < 0 || o.Server >= n {
+			return fmt.Errorf("sim: outage %d: server %d out of range [0,%d)", i, o.Server, n)
+		}
+		if !(o.From < o.To) {
+			return fmt.Errorf("sim: outage %d: window [%v,%v) is empty", i, o.From, o.To)
+		}
+		if !(o.LossProb >= 0 && o.LossProb <= 1) {
+			return fmt.Errorf("sim: outage %d: LossProb %v outside [0,1]", i, o.LossProb)
+		}
+	}
+	for i, p := range s.Partitions {
+		if len(p.Servers) == 0 {
+			return fmt.Errorf("sim: partition %d: no servers", i)
+		}
+		for _, k := range p.Servers {
+			if k < 0 || k >= n {
+				return fmt.Errorf("sim: partition %d: server %d out of range [0,%d)", i, k, n)
+			}
+		}
+		if !(p.From < p.To) {
+			return fmt.Errorf("sim: partition %d: window [%v,%v) is empty", i, p.From, p.To)
+		}
+	}
+	return nil
+}
+
+// faultLost reports whether the fault schedule loses server k's
+// exchange emitted at true time t. src is server k's private loss
+// stream; it is consulted (one draw) only inside a flaky window, so
+// schedules without flaky windows change no random draws.
+func (s *MultiScenario) faultLost(k int, t float64, src *rng.Source) bool {
+	for i := range s.Outages {
+		o := &s.Outages[i]
+		if o.Server != k || t < o.From || t >= o.To {
+			continue
+		}
+		if o.LossProb == 0 || src.Bool(o.LossProb) {
+			return true
+		}
+	}
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		if t < p.From || t >= p.To {
+			continue
+		}
+		for _, srv := range p.Servers {
+			if srv == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AddOutage blackholes server k during [from, to) seconds.
+func (s *MultiScenario) AddOutage(server int, from, to float64) {
+	s.Outages = append(s.Outages, ServerOutage{Server: server, From: from, To: to})
+}
+
+// AddFlaky makes server k's exchanges in [from, to) time out with the
+// given probability each: the request-timeout fault, which at the trace
+// level is loss (the reply never arrives before the deadline).
+func (s *MultiScenario) AddFlaky(server int, from, to, lossProb float64) {
+	s.Outages = append(s.Outages, ServerOutage{Server: server, From: from, To: to, LossProb: lossProb})
+}
+
+// AddPartition blackholes the given server subset during [from, to).
+func (s *MultiScenario) AddPartition(servers []int, from, to float64) {
+	s.Partitions = append(s.Partitions, Partition{Servers: servers, From: from, To: to})
+}
+
+// AddTotalOutage blackholes every server during [from, to): the
+// total-upstream-outage case the holdover state exists for. It is a
+// Gap, so single- and multi-server scenarios treat it identically.
+func (s *MultiScenario) AddTotalOutage(from, to float64) {
+	s.Gaps = append(s.Gaps, Gap{From: from, To: to})
+}
+
+// AddServerStep steps server k's clock by offset seconds during
+// [from, to): the mid-run server-fault event (Figure 11b's 150 ms error
+// writ arbitrary). Use math.Inf(1) for a permanent step.
+func (s *MultiScenario) AddServerStep(server int, from, to, offset float64) {
+	s.Servers[server].Server.Faults = append(s.Servers[server].Server.Faults,
+		netem.FaultWindow{From: from, To: to, Offset: offset})
+}
+
+// AddServerDeathRestart takes server k down at `at` for downFor
+// seconds and brings it back with its clock stepped by stepAfter — a
+// reboot after which the server answers again but from a clock that
+// lost the plot (stepAfter 0 models a clean restart). The step is
+// permanent: a rebooted server's error persists until something
+// corrects it, and the ensemble must evict, not wait it out.
+func (s *MultiScenario) AddServerDeathRestart(server int, at, downFor, stepAfter float64) {
+	s.AddOutage(server, at, at+downFor)
+	if stepAfter != 0 {
+		s.AddServerStep(server, at+downFor, math.Inf(1), stepAfter)
+	}
+}

@@ -35,6 +35,12 @@ type MultiScenario struct {
 	LossProb float64
 	Gaps     []Gap
 
+	// Outages and Partitions are the fault schedule: per-server
+	// blackhole/flaky windows and subset-wide splits (see faults.go).
+	// Empty schedules leave the trace untouched.
+	Outages    []ServerOutage
+	Partitions []Partition
+
 	// DAGJitter is the reference monitor's timestamping noise (1 sigma).
 	DAGJitter float64
 
@@ -52,7 +58,10 @@ func (s MultiScenario) Validate() error {
 		Duration:       s.Duration,
 		LossProb:       s.LossProb,
 	}
-	return single.Validate()
+	if err := single.Validate(); err != nil {
+		return err
+	}
+	return s.validateFaults()
 }
 
 // NewMultiScenario assembles a standard multi-server scenario, e.g.

@@ -279,6 +279,12 @@ func (st *MultiStream) Next() (ex MultiExchange, ok bool) {
 			lost = true
 		}
 	}
+	// The fault schedule (outages, partitions) is consulted only for
+	// exchanges still alive, so an all-clear schedule draws nothing and
+	// leaves the trace bit-identical.
+	if !lost {
+		lost = sc.faultLost(k, t, st.miss[k])
+	}
 	if lost {
 		ex.Lost = true
 	} else {

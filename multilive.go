@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/ensemble"
 	"repro/internal/ntp"
 )
 
@@ -29,6 +31,20 @@ type MultiLiveOptions struct {
 	// does for Live; NominalPeriod and PollPeriod take the same
 	// defaults.
 	Clock Options
+
+	// MinServers is the dial-time quorum: DialMultiLive succeeds when at
+	// least this many servers are reachable, and the rest start in a
+	// reconnecting state — re-dialed (with fresh name resolution) on
+	// their polling schedule under the adaptive backoff. Default: 1, so
+	// a single unreachable server never prevents the client from
+	// syncing off the others.
+	MinServers int
+	// StrictDial restores the historical fail-closed dial: any
+	// unreachable server aborts the whole dial and releases
+	// already-open sockets. For deployments that prefer a hard error
+	// over a quietly smaller ensemble.
+	StrictDial bool
+
 	// Ensemble trust and selection tuning; zero values take the
 	// defaults (see EnsembleOptions).
 	PenaltyDecay     float64
@@ -36,28 +52,64 @@ type MultiLiveOptions struct {
 	AgreementFactor  float64
 	ReadmitAfter     int
 	DisableSelection bool
+
+	// Degradation-ladder tuning; zero values take the defaults (see
+	// EnsembleOptions).
+	MinVotingSynced int
+	RecoverAfter    int
+	StaleAfterPolls int
+	HoldoverAfter   time.Duration
+	UnsyncedAfter   time.Duration
 }
+
+// upstream is one server's connection slot. The slot owns the (re)dial
+// lifecycle: a nil client means disconnected, and the next Step dials
+// anew — re-resolving the name, so a server that moved comes back. The
+// mutex guards the slot only; exchanges run outside it so a slow server
+// never blocks another slot's reconnect.
+type upstream struct {
+	addr string
+
+	mu           sync.Mutex
+	conn         net.Conn
+	client       *ntp.Client
+	consecFails  int
+	dials        uint64
+	dialFailures uint64
+}
+
+// redialAfterFailures is how many consecutive exchange failures on a
+// live socket force a fresh dial: the socket may be fine while the
+// route or the resolved address is not, and re-resolution is the only
+// way back from a server migration.
+const redialAfterFailures = 8
 
 // MultiLive is the multi-server counterpart of Live: the full pipeline
 // against several NTP servers over UDP, one engine per server sharing a
 // single host counter, combined by the ensemble's weighted-median
 // agreement. Per-server polling schedules are staggered so exchanges
 // interleave instead of bursting, and each server backs off
-// independently with its own adaptive Poller.
+// independently with its own adaptive Poller. Unreachable servers —
+// at dial time or later — do not fail the client: their slots keep
+// re-dialing under the poller's capped exponential backoff while the
+// ensemble's degradation ladder reports how much of the vote remains.
 type MultiLive struct {
 	ens     *Ensemble
-	conns   []net.Conn
-	clients []*ntp.Client
+	ups     []*upstream
 	pollers []*Poller
 	counter ntp.Counter
 	period  float64 // the counter's nominal period (s/cycle)
 	poll    time.Duration
+	timeout time.Duration
+	dial    func(string) (net.Conn, error)
+	closed  atomic.Bool
 }
 
 // DialMultiLive connects to every server and prepares the synchronizer.
 // Call Step for single exchanges or Run for the staggered polling
-// loops. Dialing fails closed: if any server address is unreachable the
-// whole dial fails and already-open sockets are released.
+// loops. Unreachable servers are tolerated as long as MinServers
+// (default 1) can be reached — they start reconnecting in the
+// background; set StrictDial to fail closed instead.
 func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
 	return dialMultiLive(opts, func(addr string) (net.Conn, error) {
 		return net.Dial("udp", addr)
@@ -65,11 +117,18 @@ func DialMultiLive(opts MultiLiveOptions) (*MultiLive, error) {
 }
 
 // dialMultiLive is DialMultiLive with an injectable dial function, so
-// tests can observe the fail-closed socket release and exercise Close
-// aggregation without the network.
+// tests can observe socket release, reconnection and Close aggregation
+// without the network.
 func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (*MultiLive, error) {
 	if len(opts.Servers) == 0 {
 		return nil, fmt.Errorf("tscclock: MultiLiveOptions.Servers is required")
+	}
+	minServers := opts.MinServers
+	if minServers == 0 {
+		minServers = 1
+	}
+	if minServers < 0 || minServers > len(opts.Servers) {
+		return nil, fmt.Errorf("tscclock: MinServers %d outside [1,%d]", minServers, len(opts.Servers))
 	}
 	poll := opts.Poll
 	if poll <= 0 {
@@ -98,6 +157,11 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 		AgreementFactor:  opts.AgreementFactor,
 		ReadmitAfter:     opts.ReadmitAfter,
 		DisableSelection: opts.DisableSelection,
+		MinVotingSynced:  opts.MinVotingSynced,
+		RecoverAfter:     opts.RecoverAfter,
+		StaleAfterPolls:  opts.StaleAfterPolls,
+		HoldoverAfter:    opts.HoldoverAfter,
+		UnsyncedAfter:    opts.UnsyncedAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -107,16 +171,37 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 		counter: counter,
 		period:  clockOpts.NominalPeriod,
 		poll:    poll,
+		timeout: opts.Timeout,
+		dial:    dial,
 	}
+	connected := 0
+	var firstErr error
 	for _, addr := range opts.Servers {
+		up := &upstream{addr: addr}
 		conn, err := dial(addr)
-		if err != nil {
-			m.Close()
-			return nil, fmt.Errorf("tscclock: dial %s: %w", addr, err)
+		switch {
+		case err == nil:
+			up.conn = conn
+			up.client = ntp.NewClient(conn, counter, opts.Timeout)
+			up.dials++
+			connected++
+		default:
+			up.dialFailures++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tscclock: dial %s: %w", addr, err)
+			}
 		}
-		m.conns = append(m.conns, conn)
-		m.clients = append(m.clients, ntp.NewClient(conn, counter, opts.Timeout))
+		m.ups = append(m.ups, up)
 		m.pollers = append(m.pollers, NewPoller(poll, maxPoll))
+		if err != nil && opts.StrictDial {
+			m.Close()
+			return nil, firstErr
+		}
+	}
+	if connected < minServers {
+		m.Close()
+		return nil, fmt.Errorf("tscclock: %d of %d servers reachable, need %d: %w",
+			connected, len(opts.Servers), minServers, firstErr)
 	}
 	return m, nil
 }
@@ -127,18 +212,105 @@ func (m *MultiLive) Ensemble() *Ensemble { return m.ens }
 // Counter reads the shared raw host counter.
 func (m *MultiLive) Counter() uint64 { return m.counter() }
 
-// Step performs one NTP exchange with server k and feeds it to the
-// ensemble, including the server's identity. A failed exchange returns
-// an error and feeds nothing — the engine coasts, as designed.
-func (m *MultiLive) Step(k int) (EnsembleStatus, error) {
-	if k < 0 || k >= len(m.clients) {
-		return EnsembleStatus{}, fmt.Errorf("tscclock: server %d out of range [0,%d)", k, len(m.clients))
+// ensureClient returns server k's client, dialing (and thereby
+// re-resolving) on demand when the slot is disconnected.
+func (m *MultiLive) ensureClient(up *upstream) (*ntp.Client, error) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.client != nil {
+		return up.client, nil
 	}
-	raw, err := m.clients[k].Exchange()
+	if m.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	conn, err := m.dial(up.addr)
+	if err != nil {
+		up.dialFailures++
+		return nil, fmt.Errorf("tscclock: dial %s: %w", up.addr, err)
+	}
+	if m.closed.Load() {
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	up.conn = conn
+	up.client = ntp.NewClient(conn, m.counter, m.timeout)
+	up.dials++
+	up.consecFails = 0
+	return up.client, nil
+}
+
+// observeExchange tracks consecutive failures per slot and tears the
+// socket down after redialAfterFailures of them, so the next Step dials
+// fresh.
+func (m *MultiLive) observeExchange(up *upstream, err error) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if err == nil {
+		up.consecFails = 0
+		return
+	}
+	up.consecFails++
+	if up.consecFails >= redialAfterFailures && up.conn != nil && !m.closed.Load() {
+		up.conn.Close()
+		up.conn, up.client = nil, nil
+		up.consecFails = 0
+	}
+}
+
+// Step performs one NTP exchange with server k and feeds it to the
+// ensemble, including the server's identity. A failed exchange — or a
+// failed re-dial of a disconnected slot — returns an error and feeds
+// nothing: the engine coasts, and the degradation ladder accounts for
+// the missing vote.
+func (m *MultiLive) Step(k int) (EnsembleStatus, error) {
+	if k < 0 || k >= len(m.ups) {
+		return EnsembleStatus{}, fmt.Errorf("tscclock: server %d out of range [0,%d)", k, len(m.ups))
+	}
+	client, err := m.ensureClient(m.ups[k])
+	if err != nil {
+		return EnsembleStatus{}, err
+	}
+	raw, err := client.Exchange()
+	m.observeExchange(m.ups[k], err)
 	if err != nil {
 		return EnsembleStatus{}, err
 	}
 	return m.ens.ProcessNTPExchangeFrom(k, raw.Ta, raw.Tf, raw.Tb, raw.Te, raw.RefID, raw.Stratum)
+}
+
+// UpstreamState is the connection view of one server slot.
+type UpstreamState struct {
+	// Addr is the configured server address.
+	Addr string
+	// Connected reports whether the slot currently holds a socket; a
+	// disconnected slot re-dials on its next scheduled poll.
+	Connected bool
+	// Dials counts successful dials (> 1 means reconnections) and
+	// DialFailures failed attempts.
+	Dials        uint64
+	DialFailures uint64
+	// ConsecutiveFailures counts exchange failures since the last
+	// success on the current socket; at redialAfterFailures the socket
+	// is torn down for a fresh dial.
+	ConsecutiveFailures int
+}
+
+// UpstreamStates returns the connection view of every server slot, in
+// server order.
+func (m *MultiLive) UpstreamStates() []UpstreamState {
+	out := make([]UpstreamState, len(m.ups))
+	for k, up := range m.ups {
+		up.mu.Lock()
+		out[k] = UpstreamState{
+			Addr:                up.addr,
+			Connected:           up.client != nil,
+			Dials:               up.dials,
+			DialFailures:        up.dialFailures,
+			ConsecutiveFailures: up.consecFails,
+		}
+		up.mu.Unlock()
+	}
+	return out
 }
 
 // Run polls every server until the context is cancelled, one goroutine
@@ -146,16 +318,18 @@ func (m *MultiLive) Step(k int) (EnsembleStatus, error) {
 // the schedules so the combined clock receives a steady interleaved
 // stream rather than synchronized bursts; after that each server paces
 // itself with its own adaptive Poller (fast during warmup and after
-// disturbances, backed off to MaxPoll once calibrated). onStep, when
-// installed, is called after every attempt from the polling goroutines
-// (serialize any shared state it touches).
+// disturbances, backed off to MaxPoll once calibrated — including
+// re-dial attempts of unreachable servers, which are hard errors and
+// back off immediately). onStep, when installed, is called after every
+// attempt from the polling goroutines (serialize any shared state it
+// touches).
 func (m *MultiLive) Run(ctx context.Context, onStep func(server int, st EnsembleStatus, err error)) error {
 	var wg sync.WaitGroup
-	for k := range m.clients {
+	for k := range m.ups {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			stagger := time.Duration(k) * m.poll / time.Duration(len(m.clients))
+			stagger := time.Duration(k) * m.poll / time.Duration(len(m.ups))
 			timer := time.NewTimer(stagger)
 			defer timer.Stop()
 			for {
@@ -190,20 +364,19 @@ func (m *MultiLive) Now() time.Time {
 // latest published combined readout, so the serving shards stamp
 // concurrently with the upstream pollers without sharing a lock.
 //
-// Advertised health derives from the ensemble's published state:
-// LeapNotSynced/stratum 16 until the combine is calibrated (Synced);
-// then stratum = 1 + the lowest stratum among the voting upstream
-// servers (the selected set — or every ready server during the
-// documented mass-eviction transient; identities ride in on the NTP
-// payloads, and upstreams advertising stratum ≥ 15 — their own chain
-// unsynchronized — cannot lower the advertised stratum: if every
-// identified voting upstream is in that state, the relay re-advertises
-// unsynchronized rather than masking it), root delay = the lowest
-// voting minimum path RTT, and root
-// dispersion = the widest voting server's error scale grown by the
-// readout staleness at the standard 15 PPM rate — so a relay that has
-// lost its upstreams advertises an honestly growing error bound
-// instead of a stale confident one.
+// Advertised health walks the ensemble's degradation ladder:
+//
+//   - UNSYNCED (never calibrated, every identified voting upstream on a
+//     dead chain, or held over past the staleness cap):
+//     LeapNotSynced/stratum 16 — clients must reject the relay;
+//   - SYNCED and DEGRADED: stratum = 1 + the best voting upstream's
+//     (2 when identities are unknown), root delay = the lowest voting
+//     minimum path RTT, dispersion = the widest voting error scale
+//     grown by the readout staleness at the standard 15 PPM rate;
+//   - HOLDOVER: the same frozen health summary, with the dispersion
+//     growing at the frozen p̂ drift bound if that exceeds 15 PPM — a
+//     relay that lost its upstreams advertises an honestly growing
+//     error bound instead of a stale confident one.
 func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
 	precision := ntp.PrecisionFromPeriod(m.period)
 	return func() ntp.ClockSample {
@@ -214,66 +387,39 @@ func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
 			RefID:     refID,
 			Precision: precision,
 		}
-		if !r.Synced() {
+		state := r.State(T)
+		h := r.Health
+		if state == ensemble.StateUnsynced || !r.Synced() ||
+			h.AllDeadChain || h.Stratum == 0 || h.Stratum >= ntp.StratumUnsynced {
 			s.Leap = ntp.LeapNotSynced
 			s.Stratum = ntp.StratumUnsynced
 			return s
-		}
-		minStratum := uint8(0)
-		anyIdent := false
-		minRTT, maxErr := 0.0, 0.0
-		haveRTT := false
-		for k := range r.Servers {
-			sr := &r.Servers[k]
-			if sr.Weight <= 0 {
-				continue
-			}
-			c := sr.Clock
-			if c.IdentKnown {
-				anyIdent = true
-				// Strata ≥ 15 mean the upstream's own chain is dead;
-				// such a server cannot lower our advertised stratum.
-				if c.Ident.Stratum > 0 && c.Ident.Stratum < ntp.StratumUnsynced-1 &&
-					(minStratum == 0 || c.Ident.Stratum < minStratum) {
-					minStratum = c.Ident.Stratum
-				}
-			}
-			if !haveRTT || c.RTTHat < minRTT {
-				minRTT, haveRTT = c.RTTHat, true
-			}
-			if sr.ErrScale > maxErr {
-				maxErr = sr.ErrScale
-			}
-		}
-		switch {
-		case minStratum > 0:
-			s.Stratum = minStratum + 1
-		case anyIdent:
-			// Every identified voting upstream advertises an
-			// unsynchronized chain: propagate the condition instead of
-			// masking it behind a confident stratum 2.
-			s.Leap = ntp.LeapNotSynced
-			s.Stratum = ntp.StratumUnsynced
-			return s
-		default:
-			s.Stratum = 2 // identities unknown (simulated feeds)
 		}
 		s.Leap = ntp.LeapNone
-		if haveRTT {
-			s.RootDelay = ntp.Short32FromSeconds(minRTT)
+		s.Stratum = h.Stratum
+		s.RootDelay = ntp.Short32FromSeconds(h.RootDelay)
+		rate := ntp.DispersionRate
+		if state == ensemble.StateHoldover && h.DriftBound > rate {
+			rate = h.DriftBound
 		}
-		s.RootDisp = ntp.Short32FromSeconds(maxErr + ntp.DispersionRate*r.Age(T))
+		s.RootDisp = ntp.Short32FromSeconds(h.ErrScale + rate*r.Age(T))
 		return s
 	}
 }
 
-// Close releases every UDP socket.
+// Close releases every UDP socket and stops future re-dials.
 func (m *MultiLive) Close() error {
+	m.closed.Store(true)
 	var first error
-	for _, c := range m.conns {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	for _, up := range m.ups {
+		up.mu.Lock()
+		if up.conn != nil {
+			if err := up.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			up.conn, up.client = nil, nil
 		}
+		up.mu.Unlock()
 	}
 	return first
 }

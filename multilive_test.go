@@ -13,6 +13,18 @@ func TestDialMultiLiveValidation(t *testing.T) {
 	if _, err := DialMultiLive(MultiLiveOptions{}); err == nil {
 		t.Error("missing servers accepted")
 	}
+	if _, err := DialMultiLive(MultiLiveOptions{
+		Servers:    []string{"a:123"},
+		MinServers: 2,
+	}); err == nil {
+		t.Error("MinServers above server count accepted")
+	}
+	if _, err := DialMultiLive(MultiLiveOptions{
+		Servers:    []string{"a:123"},
+		MinServers: -1,
+	}); err == nil {
+		t.Error("negative MinServers accepted")
+	}
 }
 
 func TestMultiLiveStep(t *testing.T) {
@@ -93,12 +105,43 @@ func TestMultiLiveRunStaggered(t *testing.T) {
 	}
 }
 
-func TestDialMultiLiveFailsClosed(t *testing.T) {
+// TestDialMultiLiveStrictFailsClosed: StrictDial restores the
+// historical contract that any unreachable server aborts the dial.
+func TestDialMultiLiveStrictFailsClosed(t *testing.T) {
 	good := startServer(t).String()
 	if _, err := DialMultiLive(MultiLiveOptions{
-		Servers: []string{good, "bad host name without port"},
+		Servers:    []string{good, "bad host name without port"},
+		StrictDial: true,
 	}); err == nil {
-		t.Error("unreachable server accepted")
+		t.Error("unreachable server accepted under StrictDial")
+	}
+}
+
+// TestDialMultiLiveToleratesUnreachable: by default one dead server no
+// longer prevents the client from syncing off the others — its slot
+// starts disconnected and keeps re-dialing.
+func TestDialMultiLiveToleratesUnreachable(t *testing.T) {
+	good := startServer(t).String()
+	m, err := DialMultiLive(MultiLiveOptions{
+		Servers: []string{good, "bad host name without port"},
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("tolerant dial failed: %v", err)
+	}
+	defer m.Close()
+	if _, err := m.Step(0); err != nil {
+		t.Fatalf("reachable server step: %v", err)
+	}
+	if _, err := m.Step(1); err == nil {
+		t.Error("step against unresolvable address succeeded")
+	}
+	ups := m.UpstreamStates()
+	if !ups[0].Connected || ups[0].Dials != 1 {
+		t.Errorf("slot 0 = %+v, want connected after 1 dial", ups[0])
+	}
+	if ups[1].Connected || ups[1].DialFailures < 2 {
+		t.Errorf("slot 1 = %+v, want disconnected with ≥2 dial failures", ups[1])
 	}
 }
 
@@ -136,12 +179,13 @@ func dialTracked(conns []*trackedConn) func(string) (net.Conn, error) {
 }
 
 // TestDialMultiLiveReleasesPriorConns pins the documented fail-closed
-// contract: when a later address fails to dial, every already-open
-// socket is closed before the error returns.
+// contract under StrictDial: when a later address fails to dial, every
+// already-open socket is closed before the error returns.
 func TestDialMultiLiveReleasesPriorConns(t *testing.T) {
 	conns := []*trackedConn{{}, {}, nil}
 	m, err := dialMultiLive(MultiLiveOptions{
-		Servers: []string{"a:123", "b:123", "c:123"},
+		Servers:    []string{"a:123", "b:123", "c:123"},
+		StrictDial: true,
 	}, dialTracked(conns))
 	if err == nil {
 		t.Fatal("failed dial accepted")
@@ -153,6 +197,81 @@ func TestDialMultiLiveReleasesPriorConns(t *testing.T) {
 		if c.closed != 1 {
 			t.Errorf("prior conn %d closed %d times, want 1", i, c.closed)
 		}
+	}
+}
+
+// TestDialMultiLiveQuorum: MinServers gates the tolerant dial — below
+// the quorum the dial fails and releases what it opened.
+func TestDialMultiLiveQuorum(t *testing.T) {
+	conns := []*trackedConn{{}, nil, nil}
+	m, err := dialMultiLive(MultiLiveOptions{
+		Servers:    []string{"a:123", "b:123", "c:123"},
+		MinServers: 2,
+	}, dialTracked(conns))
+	if err == nil {
+		t.Fatal("dial below quorum accepted")
+	}
+	if m != nil {
+		t.Fatal("failed dial returned a synchronizer")
+	}
+	if conns[0].closed != 1 {
+		t.Errorf("opened conn closed %d times, want 1", conns[0].closed)
+	}
+}
+
+// TestMultiLiveStepRedialsDisconnected: a slot whose dial failed at
+// start is re-dialed (with fresh resolution) by the next Step, and a
+// slot that accumulates redialAfterFailures exchange failures tears its
+// socket down for the same treatment.
+func TestMultiLiveStepRedialsDisconnected(t *testing.T) {
+	var mu sync.Mutex
+	dials := 0
+	conns := []*trackedConn{}
+	dial := func(addr string) (net.Conn, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		dials++
+		if dials == 1 {
+			return nil, errors.New("dial " + addr + ": unreachable")
+		}
+		c := &trackedConn{}
+		conns = append(conns, c)
+		return c, nil
+	}
+	m, err := dialMultiLive(MultiLiveOptions{
+		Servers: []string{"a:123", "b:123"},
+	}, dial)
+	if err != nil {
+		t.Fatalf("tolerant dial failed: %v", err)
+	}
+	defer m.Close()
+	if ups := m.UpstreamStates(); ups[0].Connected {
+		t.Fatal("slot connected despite failed dial")
+	}
+	// The next Step re-dials; the stub conn then fails the exchange.
+	if _, err := m.Step(0); err == nil {
+		t.Fatal("exchange over stub conn succeeded")
+	}
+	ups := m.UpstreamStates()
+	if !ups[0].Connected || ups[0].Dials != 1 || ups[0].DialFailures != 1 {
+		t.Fatalf("slot after redial = %+v, want connected, 1 dial, 1 failure", ups[0])
+	}
+	// Exhaust the failure budget on the live socket: the slot must tear
+	// it down and dial a fresh one on the following Step. conns[1] is
+	// slot 0's socket (conns[0] went to slot 1 at dial time).
+	for i := ups[0].ConsecutiveFailures; i < redialAfterFailures; i++ {
+		m.Step(0)
+	}
+	if ups := m.UpstreamStates(); ups[0].Connected {
+		t.Fatal("socket survived the consecutive-failure budget")
+	}
+	if conns[1].closed != 1 {
+		t.Fatalf("worn-out conn closed %d times, want 1", conns[1].closed)
+	}
+	m.Step(0)
+	ups = m.UpstreamStates()
+	if !ups[0].Connected || ups[0].Dials != 2 {
+		t.Fatalf("slot after second redial = %+v, want connected after 2 dials", ups[0])
 	}
 }
 

@@ -1,6 +1,12 @@
 package tscclock
 
-import "time"
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"time"
+)
 
 // Poller implements the controlled-emission extension the paper sketches
 // in Section 2.3: when the synchronizer owns the packet schedule (rather
@@ -14,25 +20,42 @@ import "time"
 // level shift or server change) so fresh information arrives when it is
 // worth the most.
 //
-// Exchange errors are handled asymmetrically: the first few consecutive
-// failures retry at Min — after a single loss, fresh evidence is worth
-// the most, exactly as after an engine event — but persistent failure
-// backs off exponentially toward Max, so an unreachable or
-// decommissioned server is not hammered at the fast rate forever. Any
-// successful exchange resets the failure count. The zero value is not
-// usable; use NewPoller.
+// Exchange errors are handled asymmetrically, and by kind. A timeout —
+// the request went out and nothing came back — looks like ordinary
+// packet loss, so the first few consecutive timeouts retry at Min
+// (after a single loss, fresh evidence is worth the most, exactly as
+// after an engine event) before persistent failure backs off
+// exponentially toward Max. A hard error — resolution failure, refused
+// connection, unreachable network — is not packet loss: polling faster
+// cannot help, so it skips the fast retries and backs off immediately,
+// which keeps a decommissioned or misconfigured server from being
+// hammered at the fast rate even briefly. Any successful exchange
+// resets the failure count. The zero value is not usable; use
+// NewPoller.
 type Poller struct {
 	min, max time.Duration
 	current  time.Duration
 	failures int // consecutive exchange errors observed
 }
 
-// failFastRetries is the number of consecutive exchange failures
+// failFastRetries is the number of consecutive exchange timeouts
 // retried at the fast Min rate before the poller starts backing off: a
 // lone loss (or two) is ordinary packet loss and worth chasing, a
 // longer run means the server is down and polling faster will not
 // bring it back.
 const failFastRetries = 2
+
+// isTimeout classifies an exchange error: true for a timed-out wait
+// (indistinguishable from packet loss, worth a fast retry), false for
+// a hard failure (resolution, refusal, unreachability — retrying fast
+// gains nothing).
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // NewPoller constructs a poller bounded by [min, max]. Defaults when
 // zero: min 16 s, max 1024 s (the standard NTP polling range extended
@@ -62,11 +85,15 @@ func (p *Poller) Observe(st Status, exchangeErr error) time.Duration {
 	}
 	switch {
 	case exchangeErr != nil:
-		// Loss or timeout: retry at the fast rate while the failure
-		// looks transient, then back off exponentially — a dead server
+		// Timeouts retry at the fast rate while the failure looks like
+		// transient loss, then back off exponentially — a dead server
 		// yields no information at any polling rate, and the engine
-		// coasts regardless.
+		// coasts regardless. Hard errors burn the fast-retry budget at
+		// once: the failure is structural, not lost packets.
 		p.failures++
+		if !isTimeout(exchangeErr) && p.failures <= failFastRetries {
+			p.failures = failFastRetries + 1
+		}
 		if p.failures <= failFastRetries {
 			p.current = p.min
 		} else {

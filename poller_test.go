@@ -3,9 +3,21 @@ package tscclock
 import (
 	"context"
 	"errors"
+	"fmt"
+	"os"
 	"testing"
 	"time"
 )
+
+// timeoutErr is a net.Error whose Timeout() is true: what a lost UDP
+// exchange surfaces through the read deadline.
+type timeoutErr struct{ msg string }
+
+func (e *timeoutErr) Error() string   { return e.msg }
+func (e *timeoutErr) Timeout() bool   { return true }
+func (e *timeoutErr) Temporary() bool { return true }
+
+func errTimeout(msg string) error { return &timeoutErr{msg: msg} }
 
 func TestPollerDefaults(t *testing.T) {
 	p := NewPoller(0, 0)
@@ -58,7 +70,7 @@ func TestPollerResetsOnTrouble(t *testing.T) {
 			t.Errorf("trouble %+v: interval %v, want min", st, got)
 		}
 	}
-	if got := p.Observe(Status{}, errors.New("timeout")); got != 16*time.Second {
+	if got := p.Observe(Status{}, errTimeout("timeout")); got != 16*time.Second {
 		t.Errorf("exchange error: interval %v, want min", got)
 	}
 }
@@ -69,7 +81,7 @@ func TestPollerResetsOnTrouble(t *testing.T) {
 // doubles toward max and stays there while the server remains dead.
 func TestPollerDeadServer(t *testing.T) {
 	p := NewPoller(16*time.Second, 256*time.Second)
-	dead := errors.New("i/o timeout")
+	dead := errTimeout("i/o timeout")
 	want := []time.Duration{16, 16, 32, 64, 128, 256, 256, 256}
 	for i, w := range want {
 		if got := p.Observe(Status{}, dead); got != w*time.Second {
@@ -99,7 +111,7 @@ func TestPollerDeadServer(t *testing.T) {
 // so flapping cannot accumulate into a spurious back-off.
 func TestPollerFlappyServer(t *testing.T) {
 	p := NewPoller(16*time.Second, 1024*time.Second)
-	flap := errors.New("lost")
+	flap := errTimeout("lost")
 	steps := []struct {
 		err  error
 		want time.Duration
@@ -120,6 +132,56 @@ func TestPollerFlappyServer(t *testing.T) {
 		if got := p.Observe(Status{}, s.err); got != s.want {
 			t.Errorf("step %d (err=%v): interval %v, want %v", i, s.err != nil, got, s.want)
 		}
+	}
+}
+
+// TestPollerTimeoutVsHardError pins the error-kind asymmetry against a
+// scripted fault sequence: timeouts (packet loss) get failFastRetries
+// polls at min before the exponential climb to max, while hard errors
+// (resolution failure, refused, unreachable — anything that is not a
+// timeout) burn the fast-retry budget immediately, because no retry
+// rate recovers a structural failure.
+func TestPollerTimeoutVsHardError(t *testing.T) {
+	lost := errTimeout("read udp: i/o timeout")
+	hard := errors.New("dial udp: no such host")
+
+	p := NewPoller(16*time.Second, 256*time.Second)
+	script := []struct {
+		err  error
+		want time.Duration
+	}{
+		{lost, 16 * time.Second},  // 1st timeout: fast retry
+		{lost, 16 * time.Second},  // 2nd timeout: still fast
+		{lost, 32 * time.Second},  // 3rd: backoff begins
+		{lost, 64 * time.Second},  // and compounds
+		{lost, 128 * time.Second}, //
+		{lost, 256 * time.Second}, // pinned at max while dead
+		{nil, 256 * time.Second},  // recovery: failure budget resets
+		{hard, 256 * time.Second}, // hard error: no fast retry, stays backed off at max
+	}
+	for i, s := range script {
+		if got := p.Observe(Status{}, s.err); got != s.want {
+			t.Errorf("step %d: interval %v, want %v", i, got, s.want)
+		}
+	}
+
+	// From a calm climb, a hard error doubles instead of dropping to
+	// min — and keeps doubling, since every further failure is past the
+	// fast-retry budget.
+	p2 := NewPoller(16*time.Second, 256*time.Second)
+	p2.Observe(Status{}, nil) // 32s
+	want := []time.Duration{64 * time.Second, 128 * time.Second, 256 * time.Second}
+	for i, w := range want {
+		if got := p2.Observe(Status{}, hard); got != w {
+			t.Errorf("hard failure %d: interval %v, want %v", i+1, got, w)
+		}
+	}
+	// A wrapped deadline error still counts as a timeout.
+	p3 := NewPoller(16*time.Second, 256*time.Second)
+	p3.Observe(Status{}, nil) // 32s
+	wrapped := fmt.Errorf("exchange: %w", os.ErrDeadlineExceeded)
+	if got := p3.Observe(Status{}, wrapped); got != 16*time.Second {
+		t.Errorf("wrapped deadline error: interval %v, want min fast retry", got)
 	}
 }
 
@@ -144,7 +206,7 @@ func TestPollerObserveTransitions(t *testing.T) {
 		{"recovery climbs again", Status{}, nil, 32 * time.Second},
 		{"server change resets to min", Status{ServerChanged: true}, nil, 16 * time.Second},
 		{"climbs after server change", Status{}, nil, 32 * time.Second},
-		{"exchange error resets", Status{}, errors.New("timeout"), 16 * time.Second},
+		{"exchange error resets", Status{}, errTimeout("timeout"), 16 * time.Second},
 		{"poor quality pins min", Status{PoorQuality: true}, nil, 16 * time.Second},
 		{"sanity pins min", Status{OffsetSanity: true}, nil, 16 * time.Second},
 		{"quiet resumes from min", Status{}, nil, 32 * time.Second},
@@ -164,7 +226,7 @@ func TestPollerObserveTransitions(t *testing.T) {
 // first observation and degenerate min == max bounds.
 func TestPollerMinClamp(t *testing.T) {
 	p := NewPoller(20*time.Second, 40*time.Second)
-	if got := p.Observe(Status{}, errors.New("first poll lost")); got != 20*time.Second {
+	if got := p.Observe(Status{}, errTimeout("first poll lost")); got != 20*time.Second {
 		t.Errorf("error on first observation: %v, want min", got)
 	}
 	outcomes := []struct {
@@ -176,7 +238,7 @@ func TestPollerMinClamp(t *testing.T) {
 		{Status{}, nil},
 		{Status{}, nil},
 		{Status{PoorQuality: true}, nil},
-		{Status{}, errors.New("x")},
+		{Status{}, errTimeout("x")},
 		{Status{}, nil},
 	}
 	for i, o := range outcomes {
