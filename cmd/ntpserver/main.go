@@ -18,11 +18,19 @@
 // pollers. SIGINT/SIGTERM close the listeners, drain the shards, and
 // print final counters, so the relay runs cleanly under a supervisor.
 //
+// -http starts the observability sidecar on a separate TCP listener:
+// /metrics (Prometheus text exposition of the serving counters, abuse
+// limiter and ensemble health), /healthz (liveness) and /readyz
+// (readiness: the ensemble's degradation ladder at DEGRADED or
+// better). -limit arms the per-client-prefix token-bucket limiter on
+// the packet path.
+//
 // Usage:
 //
 //	ntpserver -listen 127.0.0.1:1123 -refid GPS
 //	ntpserver -listen :1123 -shards 4 \
-//	    -upstream time1.example:123,time2.example:123,time3.example:123
+//	    -upstream time1.example:123,time2.example:123,time3.example:123 \
+//	    -http 127.0.0.1:9123 -limit 64
 //
 // (Binding the privileged default port 123 requires root.)
 package main
@@ -32,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +51,7 @@ import (
 
 	tscclock "repro"
 	"repro/internal/ntp"
+	"repro/internal/ratelimit"
 )
 
 func main() {
@@ -51,6 +62,8 @@ func main() {
 		upstream = flag.String("upstream", "", "comma-separated upstream NTP servers; enables stratum-2 relay mode")
 		poll     = flag.Duration("poll", 64*time.Second, "upstream polling interval floor (relay mode)")
 		stats    = flag.Duration("stats", time.Minute, "period of the serving-counter log lines (0 disables)")
+		httpAddr = flag.String("http", "", "TCP address for the /metrics, /healthz and /readyz observability endpoints (empty disables)")
+		limit    = flag.Float64("limit", 0, "per-client-prefix (/24, /48) request budget in req/s, burst 2x (0 disables)")
 	)
 	flag.Parse()
 
@@ -63,6 +76,10 @@ func main() {
 		sample ntp.SampleClock
 		err    error
 	)
+	var lim *ratelimit.Limiter
+	if *limit > 0 {
+		lim = ratelimit.New(ratelimit.Config{Rate: *limit, Burst: 2 * *limit})
+	}
 	var servers []string
 	for _, s := range strings.Split(*upstream, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -87,7 +104,7 @@ func main() {
 			_ = ml.Run(ctx, nil)
 		}()
 		sample = ml.ServerSample(ntp.RefIDFromString(*refid))
-		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample})
+		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample, Limit: lim})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,6 +115,7 @@ func main() {
 		srv, err = ntp.NewServer(ntp.ServerConfig{
 			Clock: ntp.SystemServerClock(),
 			RefID: ntp.RefIDFromString(*refid),
+			Limit: lim,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -118,6 +136,31 @@ func main() {
 	}
 	fmt.Printf("ntpserver %s (refid %s) on %s, %d shards (%s)\n",
 		mode, *refid, sh.Addr(), sh.Size(), reuse)
+
+	// Observability sidecar: a separate TCP listener so a scrape storm
+	// or probe misconfiguration cannot share fate with the UDP packet
+	// path. Binding errors are config errors — fail fast.
+	if *httpAddr != "" {
+		reg := tscclock.NewRelayMetrics(tscclock.RelayMetricsConfig{
+			Server: srv, Shards: sh, Multi: ml, Limit: lim,
+		})
+		var ready func() bool
+		if ml != nil {
+			ready = ml.Ready
+		}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("observability on http://%s (/metrics /healthz /readyz)\n", ln.Addr())
+		go func() {
+			hs := &http.Server{Handler: tscclock.NewObservabilityMux(reg, ready)}
+			if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed && ctx.Err() == nil {
+				log.Printf("observability server: %v", err)
+			}
+		}()
+	}
 
 	if *stats > 0 {
 		go logStats(ctx, srv, sh, ml, sample, *stats)
@@ -151,8 +194,8 @@ func logStats(ctx context.Context, srv *ntp.Server, sh *ntp.Shards, ml *tscclock
 // through the same sample the shards serve from, all lock-free.
 func statsLine(srv *ntp.Server, sh *ntp.Shards, ml *tscclock.MultiLive, sample ntp.SampleClock) string {
 	st := srv.Stats()
-	line := fmt.Sprintf("served %d/%d requests (dropped %d: %d short, %d malformed, %d non-client; %d write errors)",
-		st.Replied, st.Requests, st.Dropped(), st.Short, st.Malformed, st.NonClient, st.WriteErrors)
+	line := fmt.Sprintf("served %d/%d requests (dropped %d: %d short, %d malformed, %d non-client; %d rate-limited; %d write errors)",
+		st.Replied, st.Requests, st.Dropped(), st.Short, st.Malformed, st.NonClient, st.RateLimited, st.WriteErrors)
 	var restarts uint64
 	var lastErr error
 	for _, s := range sh.Stats() {

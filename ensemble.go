@@ -38,6 +38,19 @@ type EnsembleOptions struct {
 	// the total weight can drag the combined clock.
 	DisableSelection bool
 
+	// AsymCorrection enables the damped first-order path-asymmetry
+	// correction: each selected server's absolute clock is shifted by an
+	// EWMA of its asymmetry hint (its signed disagreement with the
+	// selected-set midpoint) before the combining median, clamped to
+	// AsymClampFrac of its correctness-interval half-width and gated off
+	// while the server is unselected or penalized. Off by default — the
+	// combined clock is bit-identical to the uncorrected combiner while
+	// disabled. AsymAlpha (default 1/64) is the EWMA gain; AsymClampFrac
+	// (default 1/2) the clamp fraction.
+	AsymCorrection bool
+	AsymAlpha      float64
+	AsymClampFrac  float64
+
 	// MinVotingSynced is the degradation-ladder quorum: the number of
 	// fresh voting servers required for the combined clock to report
 	// SYNCED (fewer is DEGRADED, none is HOLDOVER). Zero takes the
@@ -137,6 +150,9 @@ func NewEnsemble(opts EnsembleOptions) (*Ensemble, error) {
 		AgreementFactor:  opts.AgreementFactor,
 		ReadmitAfter:     opts.ReadmitAfter,
 		DisableSelection: opts.DisableSelection,
+		AsymCorrection:   opts.AsymCorrection,
+		AsymAlpha:        opts.AsymAlpha,
+		AsymClampFrac:    opts.AsymClampFrac,
 		MinVotingSynced:  opts.MinVotingSynced,
 		RecoverAfter:     opts.RecoverAfter,
 		StaleAfterPolls:  opts.StaleAfterPolls,

@@ -96,6 +96,31 @@ type Config struct {
 	// combiner did. For ablation and experiments.
 	DisableSelection bool
 
+	// AsymCorrection promotes the per-server asymmetry hints from
+	// diagnostics to a damped first-order offset correction (see
+	// asym.go): each selected server's absolute clock is shifted by an
+	// EWMA of its signed disagreement with the selected-set midpoint
+	// before it enters the combining median, pulling systematically
+	// early or late servers — what uncalibrated path asymmetry looks
+	// like from the outside (paper §2.3) — onto the ensemble consensus.
+	// Off by default; the combined clock is bit-identical to the
+	// uncorrected combiner while disabled.
+	AsymCorrection bool
+
+	// AsymAlpha in (0,1] is the EWMA gain of the asymmetry-correction
+	// tracker: the damping that keeps the correction a contraction (one
+	// noisy sweep moves it by at most AsymAlpha of the disturbance).
+	// Default: 1/64.
+	AsymAlpha float64
+
+	// AsymClampFrac bounds the applied correction to this fraction of
+	// the server's correctness-interval half-width
+	// (AgreementFactor·noiseScale): a correction can re-center a server
+	// within its own claim but never push it across it, so a wrong
+	// correction degrades accuracy without being able to manufacture a
+	// falseticker or flip a vote. Default: 1/2.
+	AsymClampFrac float64
+
 	// Degradation ladder (see ladder.go). MinVotingSynced is the voting
 	// quorum for StateSynced (default: a strict majority, len/2+1).
 	// RecoverAfter is the hysteresis: consecutive exchanges at a better
@@ -127,6 +152,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.ReadmitAfter == 0 {
 		c.ReadmitAfter = 8
+	}
+	if c.AsymAlpha == 0 {
+		c.AsymAlpha = 1.0 / 64
+	}
+	if c.AsymClampFrac == 0 {
+		c.AsymClampFrac = 0.5
 	}
 	if c.MinVotingSynced == 0 {
 		c.MinVotingSynced = len(c.Engines)/2 + 1
@@ -170,6 +201,12 @@ func (c Config) Validate() error {
 	if c.ReadmitAfter < 0 {
 		return fmt.Errorf("ensemble: ReadmitAfter must be non-negative")
 	}
+	if c.AsymAlpha != 0 && !(c.AsymAlpha > 0 && c.AsymAlpha <= 1) {
+		return fmt.Errorf("ensemble: AsymAlpha %v outside (0,1]", c.AsymAlpha)
+	}
+	if c.AsymClampFrac != 0 && !(c.AsymClampFrac > 0) {
+		return fmt.Errorf("ensemble: AsymClampFrac %v must be positive", c.AsymClampFrac)
+	}
 	if c.MinVotingSynced != 0 && (c.MinVotingSynced < 1 || c.MinVotingSynced > len(c.Engines)) {
 		return fmt.Errorf("ensemble: MinVotingSynced %d outside [1,%d]", c.MinVotingSynced, len(c.Engines))
 	}
@@ -209,6 +246,12 @@ type member struct {
 	selected bool    // in the selected (truechimer) set
 	streak   int     // consecutive sweeps intersecting the majority
 	asym     float64 // signed clock error vs the selected-set midpoint, s
+
+	// Asymmetry correction (see asym.go): corrEwma is the damped
+	// tracker of the asymmetry hint, corr the clamped correction the
+	// combine paths actually subtract (zero while the gate is closed).
+	corrEwma float64
+	corr     float64
 }
 
 // observe folds one engine result into the trust state.
@@ -366,6 +409,9 @@ func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 	}
 	e.members[server].observe(&e.cfg, &e.cfg.Engines[server], res)
 	e.updateSelection(in.Tf)
+	if e.cfg.AsymCorrection {
+		e.updateAsymCorrection()
+	}
 	e.lastTf = in.Tf
 	e.updateLadder()
 	e.publish()
@@ -710,6 +756,12 @@ type ServerState struct {
 	Falseticker     bool
 	IntersectStreak int
 	AsymmetryHint   float64
+
+	// AsymCorrection is the damped, clamped asymmetry correction (s)
+	// currently subtracted from this server's absolute clock in the
+	// combining median (see asym.go); zero unless Config.AsymCorrection
+	// is on and the server is selected and unpenalized.
+	AsymCorrection float64
 }
 
 // ServerStates returns the diagnostic view of every server.
@@ -730,6 +782,7 @@ func (e *Ensemble) ServerStates() []ServerState {
 			Falseticker:     m.ready && !m.selected && !e.cfg.DisableSelection,
 			IntersectStreak: m.streak,
 			AsymmetryHint:   m.asym,
+			AsymCorrection:  m.corr,
 		}
 	}
 	return out
@@ -742,7 +795,7 @@ func (e *Ensemble) ServerStates() []ServerState {
 // and outvoted by the median.
 func (e *Ensemble) AbsoluteTime(T uint64) float64 {
 	for k, s := range e.engines {
-		e.vals[k] = s.AbsoluteTime(T)
+		e.vals[k] = s.AbsoluteTime(T) - e.appliedCorrection(k)
 	}
 	return weightedMedianBuf(e.vals, e.rawWeights(), e.items)
 }
@@ -810,7 +863,7 @@ func (e *Ensemble) TakeSnapshot(T uint64) Snapshot {
 	ws := e.rawWeights()
 	normalize(ws)
 	for k, s := range e.engines {
-		e.vals[k] = s.AbsoluteTime(T)
+		e.vals[k] = s.AbsoluteTime(T) - e.appliedCorrection(k)
 		e.rates[k], _ = s.Clock()
 	}
 	snap := Snapshot{

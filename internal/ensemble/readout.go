@@ -44,6 +44,7 @@ type ServerReadout struct {
 	Falseticker     bool
 	IntersectStreak int
 	AsymmetryHint   float64
+	AsymCorrection  float64
 	ErrScale        float64
 	PointErrLevel   float64
 	RTTWobble       float64
@@ -138,7 +139,9 @@ func (r *Readout) AbsoluteTime(T uint64) float64 {
 	items, total := buf[:0], 0.0
 	for k := range r.Servers {
 		if w := r.Servers[k].raw; w > 0 {
-			items = append(items, wv{r.Servers[k].Clock.AbsoluteTime(T), w})
+			// AsymCorrection is identically zero while the feature is
+			// off, so this stays bit-identical to the uncorrected read.
+			items = append(items, wv{r.Servers[k].Clock.AbsoluteTime(T) - r.Servers[k].AsymCorrection, w})
 			total += w
 		}
 	}
@@ -173,7 +176,7 @@ func (r *Readout) Agreement(T uint64) int {
 	var vals [readScratch]float64
 	vs := vals[:0]
 	for k := range r.Servers {
-		v := r.Servers[k].Clock.AbsoluteTime(T)
+		v := r.Servers[k].Clock.AbsoluteTime(T) - r.Servers[k].AsymCorrection
 		vs = append(vs, v)
 		if w := r.Servers[k].Weight; w > 0 {
 			items = append(items, wv{v, w})
@@ -254,6 +257,7 @@ func (r *Readout) ServerStates() []ServerState {
 			Falseticker:     sr.Falseticker,
 			IntersectStreak: sr.IntersectStreak,
 			AsymmetryHint:   sr.AsymmetryHint,
+			AsymCorrection:  sr.AsymCorrection,
 		}
 	}
 	return out
@@ -288,6 +292,7 @@ func (e *Ensemble) publish() {
 		sr.Falseticker = m.ready && !m.selected && !e.cfg.DisableSelection
 		sr.IntersectStreak = m.streak
 		sr.AsymmetryHint = m.asym
+		sr.AsymCorrection = m.corr
 		sr.ErrScale = m.errScale()
 		sr.PointErrLevel = m.ewmaErr
 		sr.RTTWobble = m.rttWobble

@@ -170,6 +170,7 @@ func init() {
 		{"ablation", "Contribution of each design mechanism", runAblation},
 		{"ensemble", "Faulty-server containment by the multi-server ensemble clock", runEnsemble},
 		{"select", "Colluding-minority rejection by interval-intersection selection", runSelect},
+		{"asym", "Path-asymmetry correction: damped ensemble consensus transfer", runAsym},
 		{"longrun", "Multi-week streaming run: windowed error and online Allan series", runLongRun},
 		{"chaos", "Fault-schedule survival: degradation ladder, holdover bound, recovery", runChaos},
 	}

@@ -1,0 +1,357 @@
+// Package metrics is a dependency-free Prometheus-text-exposition
+// metrics layer for the serving path. It exists because the relay's hot
+// loop — one counter increment per UDP packet, millions of times per
+// second across shards — cannot afford a general-purpose metrics
+// library: an increment here is a single atomic add on a pre-registered
+// cell, with no map lookup, no interface call, and no allocation
+// (guarded by TestMetricsHotPathZeroAlloc). All formatting cost is paid
+// at scrape time, when WriteText renders every registered family in the
+// Prometheus text exposition format (# HELP/# TYPE, escaped label
+// values, deterministic order), so a scrape is the only place bytes are
+// built.
+//
+// The shapes mirror the Prometheus client library where that helps the
+// reader — Counter/Gauge, *Vec for labeled families, Func for values
+// sampled at scrape — and diverge where the hot path demands it:
+// Vec.With resolves a label set to its cell once, at wiring time, and
+// the returned cell is what the packet loop touches. Scrape hooks
+// (OnScrape) let slow-moving state (ladder rung, per-server weights
+// from the latest readout snapshot) be folded into gauges only when
+// someone is actually looking.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; increments are single atomic adds (zero-alloc).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready to use; Set is a single atomic store (zero-alloc).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// cell is one rendered sample: a pre-escaped label suffix plus its
+// value source (exactly one of counter, gauge, or fn).
+type cell struct {
+	labels  string // `{k="v",...}` or ""
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+}
+
+// family is one metric family: a # HELP/# TYPE header plus its cells in
+// creation order.
+type family struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	mu    sync.Mutex
+	cells []*cell
+	byKey map[string]*cell // label suffix → cell, for Vec.With caching
+}
+
+// Registry holds metric families and renders them on scrape. Families
+// render in registration order; a scrape never blocks the hot path
+// (cells are read with atomic loads).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// OnScrape registers fn to run at the start of every WriteText, before
+// any family renders: the place to fold slow-moving state (a readout
+// snapshot, poller stats) into gauges only when someone is looking.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// validName matches the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; labels use the same minus ':'.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c == ':' && !label:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newFamily registers a family, panicking on invalid or duplicate
+// names — both are wiring-time programmer errors, not runtime
+// conditions.
+func (r *Registry) newFamily(name, help, typ string, labelNames []string) *family {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l, true) {
+			panic(fmt.Sprintf("metrics: invalid label name %q in %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.names[name] = true
+	f := &family{name: name, help: help, typ: typ, byKey: map[string]*cell{}}
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.newFamily(name, help, "counter", nil)
+	c := &Counter{}
+	f.cells = append(f.cells, &cell{counter: c})
+	return c
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.newFamily(name, help, "gauge", nil)
+	g := &Gauge{}
+	f.cells = append(f.cells, &cell{gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled by fn at every scrape.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.newFamily(name, help, "gauge", nil)
+	f.cells = append(f.cells, &cell{fn: fn})
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct {
+	f          *family
+	labelNames []string
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.newFamily(name, help, "counter", labelNames), labelNames: labelNames}
+}
+
+// With resolves one label-value combination to its counter cell,
+// creating it on first use. Resolve at wiring time and keep the
+// returned *Counter: With itself takes the family lock and allocates on
+// first use, the returned cell never does.
+func (cv *CounterVec) With(labelValues ...string) *Counter {
+	c := cv.f.withCell(cv.labelNames, labelValues)
+	if c.counter == nil {
+		c.counter = &Counter{}
+	}
+	return c.counter
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct {
+	f          *family
+	labelNames []string
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.newFamily(name, help, "gauge", labelNames), labelNames: labelNames}
+}
+
+// With resolves one label-value combination to its gauge cell, creating
+// it on first use (see CounterVec.With).
+func (gv *GaugeVec) With(labelValues ...string) *Gauge {
+	c := gv.f.withCell(gv.labelNames, labelValues)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// withCell returns the cell for one label-value combination, creating
+// and caching it under the rendered label suffix.
+func (f *family) withCell(names, values []string) *cell {
+	if len(values) != len(names) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(names), len(values)))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		escapeLabelValue(&b, values[i])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	key := b.String()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.byKey[key]
+	if !ok {
+		c = &cell{labels: key}
+		f.byKey[key] = c
+		f.cells = append(f.cells, c)
+	}
+	return c
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, in registration order, cells within a family sorted by label
+// suffix (so scrapes are byte-stable regardless of With call order).
+// Scrape hooks run first.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+
+	var b []byte
+	for _, f := range fams {
+		f.mu.Lock()
+		cells := make([]*cell, len(f.cells))
+		copy(cells, f.cells)
+		f.mu.Unlock()
+		sort.Slice(cells, func(i, j int) bool { return cells[i].labels < cells[j].labels })
+
+		b = b[:0]
+		if f.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, f.name...)
+			b = append(b, ' ')
+			b = append(b, escapeHelp(f.help)...)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		for _, c := range cells {
+			b = append(b, f.name...)
+			b = append(b, c.labels...)
+			b = append(b, ' ')
+			switch {
+			case c.counter != nil:
+				b = strconv.AppendUint(b, c.counter.Value(), 10)
+			case c.gauge != nil:
+				b = appendFloat(b, c.gauge.Value())
+			case c.fn != nil:
+				b = appendFloat(b, c.fn())
+			}
+			b = append(b, '\n')
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendFloat renders a float sample value, with the exposition
+// format's spellings for the non-finite values.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as a /metrics
+// endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The scrape builds into the response writer directly; an error
+		// here means the client went away, nothing to do about it.
+		_ = r.WriteText(w)
+	})
+}

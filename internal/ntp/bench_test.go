@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/ratelimit"
 )
 
 // BenchmarkServeLoopback measures downstream serving throughput over
@@ -20,89 +22,110 @@ import (
 func BenchmarkServeLoopback(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			srv, err := NewServer(ServerConfig{Clock: SystemServerClock()})
-			if err != nil {
-				b.Fatal(err)
-			}
-			sh, err := srv.ListenShards("udp", "127.0.0.1:0", shards)
-			if err != nil {
-				b.Fatal(err)
-			}
-			ctx, cancel := context.WithCancel(context.Background())
-			served := make(chan error, 1)
-			go func() { served <- sh.Serve(ctx) }()
-			defer func() {
-				cancel()
-				<-served
-			}()
+			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock()}, shards)
+		})
+	}
+}
 
-			// One flow per client socket: the kernel hashes flows across
-			// the reuseport set, so distinct sockets land on distinct
-			// shards. The in-flight window is sized against the socket
-			// buffer's per-packet truesize accounting (~1 KB per tiny
-			// datagram), and rare overflow drops are resent rather than
-			// failed — this is a throughput benchmark, not a loss test.
-			const clients = 8
-			const window = 16
-			req := Packet{Version: 4, Mode: ModeClient, Transmit: Time64FromTime(time.Now())}
-			wire := req.Marshal()
-			per := b.N / clients
-			var wg sync.WaitGroup
-			b.ResetTimer()
-			for c := 0; c < clients; c++ {
-				n := per
-				if c == 0 {
-					n += b.N % clients
+// BenchmarkServeLoopbackLimited is BenchmarkServeLoopback with the
+// per-prefix rate limiter attached — the only per-packet cost the
+// observability layer adds (metric counters are bare atomics and the
+// exposition work all happens at scrape time). The delta against the
+// bare benchmark at the same shard count is the instrumentation tax
+// recorded in PERF.md; the budget is generous enough (Rate 1e9) that
+// no benchmark packet is ever denied, so both benchmarks count the
+// same work per reply.
+func BenchmarkServeLoopbackLimited(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			limit := ratelimit.New(ratelimit.Config{Rate: 1e9, Burst: 1e9})
+			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Limit: limit}, shards)
+		})
+	}
+}
+
+func benchServeLoopback(b *testing.B, cfg ServerConfig, shards int) {
+	srv, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := srv.ListenShards("udp", "127.0.0.1:0", shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- sh.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	// One flow per client socket: the kernel hashes flows across
+	// the reuseport set, so distinct sockets land on distinct
+	// shards. The in-flight window is sized against the socket
+	// buffer's per-packet truesize accounting (~1 KB per tiny
+	// datagram), and rare overflow drops are resent rather than
+	// failed — this is a throughput benchmark, not a loss test.
+	const clients = 8
+	const window = 16
+	req := Packet{Version: 4, Mode: ModeClient, Transmit: Time64FromTime(time.Now())}
+	wire := req.Marshal()
+	per := b.N / clients
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		n := per
+		if c == 0 {
+			n += b.N % clients
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", sh.Addr().String())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			var rbuf [512]byte
+			retries := 0
+			for done := 0; done < n; {
+				batch := window
+				if n-done < batch {
+					batch = n - done
 				}
-				wg.Add(1)
-				go func(n int) {
-					defer wg.Done()
-					conn, err := net.Dial("udp", sh.Addr().String())
-					if err != nil {
+				for i := 0; i < batch; i++ {
+					if _, err := conn.Write(wire[:]); err != nil {
 						b.Error(err)
 						return
 					}
-					defer conn.Close()
-					var rbuf [512]byte
-					retries := 0
-					for done := 0; done < n; {
-						batch := window
-						if n-done < batch {
-							batch = n - done
+				}
+				for got := 0; got < batch; {
+					conn.SetReadDeadline(time.Now().Add(time.Second))
+					if _, err := conn.Read(rbuf[:]); err != nil {
+						// Dropped under buffer pressure: resend
+						// the outstanding remainder of the batch.
+						retries++
+						if retries > 100 {
+							b.Errorf("server unresponsive after %d retries (%d/%d replies)", retries, done+got, n)
+							return
 						}
-						for i := 0; i < batch; i++ {
+						for i := got; i < batch; i++ {
 							if _, err := conn.Write(wire[:]); err != nil {
 								b.Error(err)
 								return
 							}
 						}
-						for got := 0; got < batch; {
-							conn.SetReadDeadline(time.Now().Add(time.Second))
-							if _, err := conn.Read(rbuf[:]); err != nil {
-								// Dropped under buffer pressure: resend
-								// the outstanding remainder of the batch.
-								retries++
-								if retries > 100 {
-									b.Errorf("server unresponsive after %d retries (%d/%d replies)", retries, done+got, n)
-									return
-								}
-								for i := got; i < batch; i++ {
-									if _, err := conn.Write(wire[:]); err != nil {
-										b.Error(err)
-										return
-									}
-								}
-								continue
-							}
-							got++
-						}
-						done += batch
+						continue
 					}
-				}(n)
+					got++
+				}
+				done += batch
 			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replies/s")
-		})
+		}(n)
 	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replies/s")
 }

@@ -1,0 +1,112 @@
+package ntp
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ratelimit"
+)
+
+// dialFrom opens a UDP socket bound to a specific loopback source
+// address — the flood test puts the honest client and the abuser in
+// different /24s (127.0.1.0/24 vs 127.0.2.0/24; all of 127/8 is
+// loopback on Linux) so the limiter sees two distinct prefixes.
+func dialFrom(t *testing.T, src string, dst net.Addr) *net.UDPConn {
+	t.Helper()
+	laddr := &net.UDPAddr{IP: net.ParseIP(src)}
+	raddr, err := net.ResolveUDPAddr("udp", dst.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", laddr, raddr)
+	if err != nil {
+		t.Skipf("cannot bind %s (loopback /8 aliasing unavailable): %v", src, err)
+	}
+	return conn
+}
+
+// TestServerFloodRateLimited: a flood from one client prefix is dropped
+// and counted while an honest client in another prefix keeps getting
+// answers — the per-prefix token bucket contains the abuse instead of
+// letting it starve the shard.
+func TestServerFloodRateLimited(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := ratelimit.New(ratelimit.Config{Rate: 50, Burst: 16})
+	srv, err := NewServer(ServerConfig{Clock: SystemServerClock(), Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(pc) }()
+	defer func() { pc.Close(); <-done }()
+
+	abuser := dialFrom(t, "127.0.2.1", pc.LocalAddr())
+	defer abuser.Close()
+	honest := dialFrom(t, "127.0.1.1", pc.LocalAddr())
+	defer honest.Close()
+
+	// The flood: far past the 16-token burst, as fast as the socket
+	// takes them. No reads — a flooder doesn't wait for answers.
+	const floodN = 400
+	for i := 0; i < floodN; i++ {
+		if _, err := abuser.Write(clientPacket(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The honest client, interleaved with the tail of the flood: its
+	// prefix's bucket is untouched, so every request that reaches the
+	// server must be answered. The flood can still overflow the shared
+	// kernel receive queue — that loss is upstream of anything a
+	// limiter can do — so the client retries on timeout, as any real
+	// NTP client does; what the limiter guarantees is that retries
+	// succeed as the queue drains instead of a starved shard never
+	// answering.
+	buf := make([]byte, 512)
+	for i := 0; i < 8; i++ {
+		answered := false
+		for attempt := 0; attempt < 10 && !answered; attempt++ {
+			if _, err := honest.Write(clientPacket(4)); err != nil {
+				t.Fatal(err)
+			}
+			honest.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+			n, err := honest.Read(buf)
+			if err != nil {
+				continue // lost in the flooded kernel queue; retry
+			}
+			var resp Packet
+			if err := resp.Unmarshal(buf[:n]); err != nil {
+				t.Fatalf("honest request %d: bad reply: %v", i, err)
+			}
+			if resp.Mode != ModeServer {
+				t.Fatalf("honest request %d: mode %v", i, resp.Mode)
+			}
+			answered = true
+		}
+		if !answered {
+			t.Fatalf("honest request %d starved out by the flood despite retries", i)
+		}
+	}
+
+	// The flood must have been mostly dropped and visibly counted. UDP
+	// may lose some flood packets before the server reads them, so gate
+	// on proportions, not exact counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.RateLimited >= floodN/2 {
+			if limit.Denied() != st.RateLimited {
+				t.Fatalf("limiter denied %d but server counted %d", limit.Denied(), st.RateLimited)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rate-limited count never rose: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/ratelimit"
 )
 
 // Counter abstracts the host's raw timestamp source. On the live path it
@@ -173,6 +175,12 @@ type ServerConfig struct {
 	RefID     uint32 // defaults to "GPS"
 	Stratum   uint8  // defaults to 1
 	Precision int8   // defaults to -20 (~1 µs)
+
+	// Limit, when non-nil, rate-limits requests by client prefix on
+	// every shard: over-budget packets are dropped before parsing and
+	// counted in Stats.RateLimited, so one abusive subnet spends its
+	// own bucket instead of a shard's cycles. Nil serves unlimited.
+	Limit *ratelimit.Limiter
 }
 
 // Stats is a point-in-time snapshot of a server's request counters,
@@ -183,10 +191,12 @@ type Stats struct {
 	Short       uint64 // dropped: shorter than the 48-byte v4 header
 	Malformed   uint64 // dropped: unparseable or version 0
 	NonClient   uint64 // dropped: not a client-mode request
+	RateLimited uint64 // dropped: client prefix over its token budget
 	WriteErrors uint64 // reply writes that failed
 }
 
-// Dropped is the total of all drop reasons.
+// Dropped is the total of all protocol drop reasons (rate-limited
+// packets are counted separately: they may be perfectly well-formed).
 func (s Stats) Dropped() uint64 { return s.Short + s.Malformed + s.NonClient }
 
 // counters is the atomic backing of Stats; one instance is shared by
@@ -197,6 +207,7 @@ type counters struct {
 	short       atomic.Uint64
 	malformed   atomic.Uint64
 	nonClient   atomic.Uint64
+	rateLimited atomic.Uint64
 	writeErrors atomic.Uint64
 }
 
@@ -209,6 +220,7 @@ type counters struct {
 // are shared and atomic.
 type Server struct {
 	sample SampleClock
+	limit  *ratelimit.Limiter
 	stats  counters
 }
 
@@ -241,7 +253,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return s
 		}
 	}
-	return &Server{sample: sample}, nil
+	return &Server{sample: sample, limit: cfg.Limit}, nil
 }
 
 // Stats returns a snapshot of the request counters.
@@ -252,6 +264,7 @@ func (s *Server) Stats() Stats {
 		Short:       s.stats.short.Load(),
 		Malformed:   s.stats.malformed.Load(),
 		NonClient:   s.stats.nonClient.Load(),
+		RateLimited: s.stats.rateLimited.Load(),
 		WriteErrors: s.stats.writeErrors.Load(),
 	}
 }
@@ -281,6 +294,13 @@ func (s *Server) Serve(pc net.PacketConn) error {
 			return err
 		}
 		s.stats.requests.Add(1)
+		// The rate limiter runs before any parsing: an over-budget
+		// prefix must not buy header validation, let alone a clock
+		// sample. A nil limiter costs one predictable branch.
+		if s.limit != nil && !s.limit.AllowAddr(addr) {
+			s.stats.rateLimited.Add(1)
+			continue
+		}
 		if n < PacketSize {
 			s.stats.short.Add(1)
 			continue

@@ -1,0 +1,216 @@
+// Package ratelimit is the serving path's abuse shield: per-client-
+// prefix token buckets sized so one hostile subnet exhausts its own
+// budget instead of a shard. Keying by prefix (/24 for IPv4, /48 for
+// IPv6 — the standard allocation units) rather than by address closes
+// the obvious dodge of rotating source addresses within a subnet, and
+// an attacker spreading across MANY prefixes has to spread its packet
+// rate too, which is the point of a per-prefix budget.
+//
+// The design serves the shard hot loop: a lookup is one hash-sharded
+// mutex, one map probe on an integer key derived from the address bytes
+// (no parsing, no per-packet allocation), and a float refill. The
+// bucket table is bounded: when a shard fills, idle buckets (no packet
+// for IdleTTL) are swept out, and if a churn attack keeps the table
+// full anyway, NEW prefixes are admitted untracked (fail open) — a
+// table-exhaustion attack must not become a tool to deny honest
+// clients, it merely degrades enforcement back to pre-limiter
+// behaviour while the Untracked counter makes the condition visible.
+package ratelimit
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Limiter.
+type Config struct {
+	// Rate is the sustained budget in requests per second per client
+	// prefix. Default: 64 (far above any sane NTP client — even burst
+	// polling is a few per minute — while three orders of magnitude
+	// below what a flood needs).
+	Rate float64
+	// Burst is the bucket capacity: how many back-to-back requests a
+	// prefix may issue from cold before pacing applies. Default: 128.
+	Burst float64
+	// MaxEntries bounds the total tracked prefixes across all table
+	// shards. Default: 65536 (a few MB at the bucket size).
+	MaxEntries int
+	// IdleTTL is how long a prefix's bucket survives without traffic
+	// before it is evictable. Default: 60s.
+	IdleTTL time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Rate == 0 {
+		c.Rate = 64
+	}
+	if c.Burst == 0 {
+		c.Burst = 128
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 65536
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 60 * time.Second
+	}
+}
+
+// tableShards is the lock-sharding factor of the bucket table: enough
+// that the SO_REUSEPORT serve shards (one per core, single digits)
+// rarely contend on a table shard even under uniform traffic.
+const tableShards = 16
+
+// bucket is one prefix's token state; guarded by its table shard's
+// mutex.
+type bucket struct {
+	tokens float64
+	last   int64 // monotonic nanoseconds of the last refill
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[uint64]bucket
+}
+
+// Limiter is a sharded per-prefix token-bucket limiter. Safe for
+// concurrent use from every serve shard.
+type Limiter struct {
+	cfg       Config
+	ratePerNs float64
+	maxShard  int // per-table-shard entry bound
+	shards    [tableShards]tableShard
+
+	// now is the time source in monotonic nanoseconds; replaceable in
+	// tests for deterministic refill.
+	now func() int64
+
+	denied    atomic.Uint64
+	untracked atomic.Uint64
+}
+
+// New constructs a limiter; zero config fields take defaults.
+func New(cfg Config) *Limiter {
+	cfg.setDefaults()
+	start := time.Now()
+	l := &Limiter{
+		cfg:       cfg,
+		ratePerNs: cfg.Rate / 1e9,
+		maxShard:  (cfg.MaxEntries + tableShards - 1) / tableShards,
+		now:       func() int64 { return int64(time.Since(start)) },
+	}
+	for i := range l.shards {
+		l.shards[i].m = make(map[uint64]bucket)
+	}
+	return l
+}
+
+// v4PrefixBits and v6PrefixBits are the client-aggregation prefix
+// lengths: /24 and /48, the common end-site allocation units.
+const (
+	v4PrefixBits = 24
+	v6PrefixBits = 48
+)
+
+// PrefixKey reduces an IP to its rate-limiting prefix as an integer
+// key: the top v4PrefixBits of an IPv4 address (tagged to its own key
+// space) or the top v6PrefixBits of an IPv6 address. ok is false for
+// addresses with no usable IP (the caller should fail open: a packet
+// whose source the stack could not type is not evidence of abuse).
+func PrefixKey(ip net.IP) (key uint64, ok bool) {
+	if v4 := ip.To4(); v4 != nil {
+		return 1<<63 | uint64(v4[0])<<16 | uint64(v4[1])<<8 | uint64(v4[2]), true
+	}
+	if len(ip) != net.IPv6len {
+		return 0, false
+	}
+	return uint64(ip[0])<<40 | uint64(ip[1])<<32 | uint64(ip[2])<<24 |
+		uint64(ip[3])<<16 | uint64(ip[4])<<8 | uint64(ip[5]), true
+}
+
+// AllowAddr applies Allow to a packet source as the serve loop sees it
+// (fail open on non-UDP or unparseable sources).
+func (l *Limiter) AllowAddr(addr net.Addr) bool {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return true
+	}
+	key, ok := PrefixKey(ua.IP)
+	if !ok {
+		return true
+	}
+	return l.Allow(key)
+}
+
+// Allow spends one token from the key's bucket, reporting whether the
+// request is within budget. New prefixes start at Burst capacity; when
+// the table is full and idle-sweeping frees nothing, new prefixes are
+// admitted untracked.
+func (l *Limiter) Allow(key uint64) bool {
+	// Fibonacci mixing spreads sequential prefixes across table shards.
+	sh := &l.shards[(key*0x9e3779b97f4a7c15)>>59&(tableShards-1)]
+	now := l.now()
+	sh.mu.Lock()
+	b, ok := sh.m[key]
+	if !ok {
+		if len(sh.m) >= l.maxShard {
+			l.sweepLocked(sh, now)
+		}
+		if len(sh.m) >= l.maxShard {
+			sh.mu.Unlock()
+			l.untracked.Add(1)
+			return true
+		}
+		sh.m[key] = bucket{tokens: l.cfg.Burst - 1, last: now}
+		sh.mu.Unlock()
+		return true
+	}
+	b.tokens += float64(now-b.last) * l.ratePerNs
+	if b.tokens > l.cfg.Burst {
+		b.tokens = l.cfg.Burst
+	}
+	b.last = now
+	allowed := b.tokens >= 1
+	if allowed {
+		b.tokens--
+	}
+	sh.m[key] = b
+	sh.mu.Unlock()
+	if !allowed {
+		l.denied.Add(1)
+	}
+	return allowed
+}
+
+// sweepLocked evicts buckets idle past IdleTTL from one table shard.
+// Called with the shard lock held, only on the insert-into-full-shard
+// path, so steady-state packets never pay for a sweep.
+func (l *Limiter) sweepLocked(sh *tableShard, now int64) {
+	ttl := l.cfg.IdleTTL.Nanoseconds()
+	for k, b := range sh.m {
+		if now-b.last > ttl {
+			delete(sh.m, k)
+		}
+	}
+}
+
+// Len returns the number of tracked prefixes across all table shards.
+func (l *Limiter) Len() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Denied returns the total requests rejected over budget.
+func (l *Limiter) Denied() uint64 { return l.denied.Load() }
+
+// Untracked returns the requests admitted without tracking because the
+// bucket table was full of live entries — the signature of a prefix-
+// churn attack outliving the table bound.
+func (l *Limiter) Untracked() uint64 { return l.untracked.Load() }

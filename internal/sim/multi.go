@@ -134,6 +134,28 @@ func NewColludingScenario(env Environment, offset, poll, duration float64, seed 
 	return sc
 }
 
+// NewAsymmetricScenario builds the path-asymmetry correction's test
+// case: one ServerInt-class upstream per entry of extraForward, with
+// entry k added to server k's forward-path minimum delay. An extra
+// forward delay is invisible to any single-path filter — the engine
+// splits the minimum RTT evenly, so server k's clock silently gains a
+// bias of −extraForward[k]/2 (paper §2.3) while staying healthy by
+// every quality signal. Differential entries make the per-server biases
+// disagree, which is exactly what the ensemble's asymmetry hints can
+// see and the damped correction can remove; a uniform extraForward is
+// the common-mode control no client-side algorithm can detect. All
+// zeros yields the symmetric control with identical random draws.
+func NewAsymmetricScenario(env Environment, extraForward []float64, poll, duration float64, seed uint64) MultiScenario {
+	servers := make([]ServerSpec, len(extraForward))
+	for k := range servers {
+		servers[k] = ServerInt()
+		servers[k].Forward.MinDelay += extraForward[k]
+	}
+	sc := NewMultiScenario(env, servers, poll, duration, seed)
+	sc.Name = fmt.Sprintf("%s-asym%d", env, len(servers))
+	return sc
+}
+
 // MultiExchange is one exchange of a multi-server trace: the exchange
 // data plus the index of the server that served it.
 type MultiExchange struct {

@@ -53,6 +53,12 @@ type MultiLiveOptions struct {
 	ReadmitAfter     int
 	DisableSelection bool
 
+	// Path-asymmetry correction (see EnsembleOptions.AsymCorrection);
+	// off by default.
+	AsymCorrection bool
+	AsymAlpha      float64
+	AsymClampFrac  float64
+
 	// Degradation-ladder tuning; zero values take the defaults (see
 	// EnsembleOptions).
 	MinVotingSynced int
@@ -157,6 +163,9 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 		AgreementFactor:  opts.AgreementFactor,
 		ReadmitAfter:     opts.ReadmitAfter,
 		DisableSelection: opts.DisableSelection,
+		AsymCorrection:   opts.AsymCorrection,
+		AsymAlpha:        opts.AsymAlpha,
+		AsymClampFrac:    opts.AsymClampFrac,
 		MinVotingSynced:  opts.MinVotingSynced,
 		RecoverAfter:     opts.RecoverAfter,
 		StaleAfterPolls:  opts.StaleAfterPolls,
@@ -405,6 +414,16 @@ func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
 		s.RootDisp = ntp.Short32FromSeconds(h.ErrScale + rate*r.Age(T))
 		return s
 	}
+}
+
+// Ready reports whether the combined clock currently meets the serving
+// bar: the degradation ladder (read at the current counter value, so
+// staleness capping applies) at DEGRADED or better. This is the
+// predicate behind the relay's /readyz endpoint — a relay in HOLDOVER
+// or UNSYNCED keeps answering NTP with honest dispersion/leap bits, but
+// a load balancer should prefer replicas that still hold a live vote.
+func (m *MultiLive) Ready() bool {
+	return m.ens.State(m.counter()) >= ensemble.StateDegraded
 }
 
 // Close releases every UDP socket and stops future re-dials.

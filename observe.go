@@ -1,0 +1,243 @@
+package tscclock
+
+// Production observability for the relay: NewRelayMetrics wires a
+// metrics.Registry to every layer of cmd/ntpserver — serving counters,
+// shard supervisor restarts, the abuse limiter, and in relay mode the
+// ensemble's ladder state, health summary, per-server trust diagnostics
+// and upstream connection slots — and NewObservabilityMux serves it
+// alongside the /healthz and /readyz probes. Everything is sampled at
+// scrape time from the same lock-free surfaces the stats log lines use
+// (Server.Stats, Shards.Stats, the published readout), so a scrape
+// never touches the packet hot path.
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/ntp"
+	"repro/internal/ratelimit"
+)
+
+// RelayMetricsConfig names the layers NewRelayMetrics instruments. Any
+// nil field is simply skipped, so the same constructor covers the
+// stratum-1 server (no Multi), an unlimited deployment (no Limit), and
+// the full relay.
+type RelayMetricsConfig struct {
+	// Server provides the per-packet serving counters.
+	Server *ntp.Server
+	// Shards provides the shard supervisor's restart tally.
+	Shards *ntp.Shards
+	// Multi provides the ensemble readout, ladder state and upstream
+	// connection slots (relay mode).
+	Multi *MultiLive
+	// Limit provides the abuse limiter's table occupancy and fail-open
+	// counter (denials themselves are counted by Server).
+	Limit *ratelimit.Limiter
+}
+
+// NewRelayMetrics builds the relay's metric registry. Cumulative
+// sources (Server.Stats, dial counts) are folded into counter families
+// on scrape, so scrapes observe monotonic counters; instantaneous
+// state (ladder rung, weights, corrections) lands in gauges. The
+// registry is ready for NewObservabilityMux or metrics.Registry.Handler.
+func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	// fold turns a cumulative external uint64 into a counter update:
+	// add the delta since the previous scrape. Guarded by foldMu so
+	// concurrent scrapes never double-count a delta.
+	var foldMu sync.Mutex
+	fold := func(c *metrics.Counter) func(uint64) {
+		var last uint64
+		return func(cur uint64) {
+			if cur > last {
+				c.Add(cur - last)
+				last = cur
+			}
+		}
+	}
+
+	if srv := cfg.Server; srv != nil {
+		requests := fold(reg.Counter("ntp_requests_total", "Datagrams received on the serving sockets."))
+		replies := fold(reg.Counter("ntp_replies_total", "Server-mode replies sent."))
+		dropped := reg.CounterVec("ntp_dropped_total", "Datagrams dropped before a reply, by reason.", "reason")
+		short := fold(dropped.With("short"))
+		malformed := fold(dropped.With("malformed"))
+		nonClient := fold(dropped.With("nonclient"))
+		rateLimited := fold(reg.Counter("ntp_rate_limited_total", "Requests dropped by the per-prefix token bucket."))
+		writeErrors := fold(reg.Counter("ntp_write_errors_total", "Reply writes that failed."))
+		reg.OnScrape(func() {
+			st := srv.Stats()
+			foldMu.Lock()
+			defer foldMu.Unlock()
+			requests(st.Requests)
+			replies(st.Replied)
+			short(st.Short)
+			malformed(st.Malformed)
+			nonClient(st.NonClient)
+			rateLimited(st.RateLimited)
+			writeErrors(st.WriteErrors)
+		})
+	}
+
+	if sh := cfg.Shards; sh != nil {
+		restarts := fold(reg.Counter("ntp_shard_restarts_total", "Serving-loop failures recovered by the shard supervisor."))
+		reg.GaugeFunc("ntp_shards", "Serving shards on the listen address.", func() float64 {
+			return float64(sh.Size())
+		})
+		reg.OnScrape(func() {
+			var n uint64
+			for _, s := range sh.Stats() {
+				n += s.Restarts
+			}
+			foldMu.Lock()
+			defer foldMu.Unlock()
+			restarts(n)
+		})
+	}
+
+	if l := cfg.Limit; l != nil {
+		reg.GaugeFunc("ratelimit_tracked_prefixes", "Client prefixes with a live token bucket.", func() float64 {
+			return float64(l.Len())
+		})
+		untracked := fold(reg.Counter("ratelimit_untracked_total", "Requests admitted without tracking because the bucket table was full (fail open)."))
+		reg.OnScrape(func() {
+			foldMu.Lock()
+			defer foldMu.Unlock()
+			untracked(l.Untracked())
+		})
+	}
+
+	if ml := cfg.Multi; ml != nil {
+		reg.GaugeFunc("tscclock_ladder_state", "Degradation-ladder state read at scrape time (0 unsynced, 1 holdover, 2 degraded, 3 synced).", func() float64 {
+			return float64(ml.ens.State(ml.counter()))
+		})
+		reg.GaugeFunc("tscclock_ready", "1 while the ladder is at DEGRADED or better (the /readyz predicate).", func() float64 {
+			if ml.Ready() {
+				return 1
+			}
+			return 0
+		})
+		exchanges := fold(reg.Counter("tscclock_exchanges_total", "Upstream NTP exchanges fed to the ensemble."))
+		voting := reg.Gauge("tscclock_voting_servers", "Servers backing the combined vote.")
+		falsetickers := reg.Gauge("tscclock_falsetickers", "Ready servers voted out by interval intersection.")
+		stratum := reg.Gauge("tscclock_health_stratum", "Advertised upstream stratum of the voting set.")
+		errScale := reg.Gauge("tscclock_health_err_scale_seconds", "Widest voting error scale (root-dispersion base).")
+
+		serverLabel := []string{"server"}
+		weight := reg.GaugeVec("tscclock_server_weight", "Normalized combining weight per upstream.", serverLabel...)
+		asymHint := reg.GaugeVec("tscclock_server_asymmetry_seconds", "Signed asymmetry hint against the selected-set midpoint.", serverLabel...)
+		asymCorr := reg.GaugeVec("tscclock_server_asym_correction_seconds", "Applied damped path-asymmetry correction.", serverLabel...)
+		selected := reg.GaugeVec("tscclock_server_selected", "1 while the upstream is in the truechimer set.", serverLabel...)
+		penalty := reg.GaugeVec("tscclock_server_penalty_seconds", "Decaying trust penalty per upstream.", serverLabel...)
+		connected := reg.GaugeVec("tscclock_upstream_connected", "1 while the upstream slot holds a socket.", serverLabel...)
+		dials := reg.CounterVec("tscclock_upstream_dials_total", "Successful upstream dials (beyond 1 per slot: reconnections).", serverLabel...)
+		dialFailures := reg.CounterVec("tscclock_upstream_dial_failures_total", "Failed upstream dial attempts.", serverLabel...)
+
+		// Resolve the per-server cells once: server count is fixed for
+		// the life of a MultiLive.
+		n := len(ml.ups)
+		type serverCells struct {
+			weight, asymHint, asymCorr, selected, penalty, connected *metrics.Gauge
+			dials, dialFailures                                      func(uint64)
+		}
+		cells := make([]serverCells, n)
+		for k := 0; k < n; k++ {
+			lv := itoa(k)
+			cells[k] = serverCells{
+				weight:       weight.With(lv),
+				asymHint:     asymHint.With(lv),
+				asymCorr:     asymCorr.With(lv),
+				selected:     selected.With(lv),
+				penalty:      penalty.With(lv),
+				connected:    connected.With(lv),
+				dials:        fold(dials.With(lv)),
+				dialFailures: fold(dialFailures.With(lv)),
+			}
+		}
+		reg.OnScrape(func() {
+			r := ml.ens.Readout()
+			voting.Set(float64(r.VotingCount))
+			falsetickers.Set(float64(r.Falsetickers))
+			stratum.Set(float64(r.Health.Stratum))
+			errScale.Set(r.Health.ErrScale)
+			states := r.ServerStates()
+			ups := ml.UpstreamStates()
+			foldMu.Lock()
+			exchanges(uint64(r.Exchanges))
+			for k := range cells {
+				if k < len(states) {
+					st := states[k]
+					cells[k].weight.Set(st.Weight)
+					cells[k].asymHint.Set(st.AsymmetryHint)
+					cells[k].asymCorr.Set(st.AsymCorrection)
+					cells[k].penalty.Set(st.Penalty)
+					if st.Selected {
+						cells[k].selected.Set(1)
+					} else {
+						cells[k].selected.Set(0)
+					}
+				}
+				if k < len(ups) {
+					if ups[k].Connected {
+						cells[k].connected.Set(1)
+					} else {
+						cells[k].connected.Set(0)
+					}
+					cells[k].dials(ups[k].Dials)
+					cells[k].dialFailures(ups[k].DialFailures)
+				}
+			}
+			foldMu.Unlock()
+		})
+	}
+	return reg
+}
+
+// itoa is a minimal non-negative integer formatter for label values
+// (avoids strconv in a file otherwise free of it — and the zero case).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// NewObservabilityMux assembles the relay's sidecar HTTP surface:
+//
+//   - /metrics: the registry in Prometheus text exposition format;
+//   - /healthz: liveness — 200 while the process can answer HTTP at
+//     all (a relay in HOLDOVER is alive, just not preferable);
+//   - /readyz: readiness — 200 while ready() holds (the relay wires
+//     MultiLive.Ready: ladder at DEGRADED or better), 503 otherwise,
+//     so load balancers drain replicas that lost their upstream vote
+//     without killing them.
+//
+// ready may be nil (a stratum-1 server stamping from the OS clock is
+// always ready). The mux is served on a separate listener from the NTP
+// shards: observability must not share fate with the packet path.
+func NewObservabilityMux(reg *metrics.Registry, ready func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || ready() {
+			w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("not ready\n"))
+	})
+	return mux
+}

@@ -10,11 +10,16 @@ package tscclock
 
 import (
 	"context"
+	"io"
 	"net"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/ensemble"
 	"repro/internal/ntp"
+	"repro/internal/ratelimit"
 )
 
 // queryRelay performs one raw client-mode exchange against addr.
@@ -106,6 +111,194 @@ func TestRelayPropagatesUnsyncedUpstream(t *testing.T) {
 	if s := m.ServerSample(ntp.RefIDFromString("TSCC"))(); s.Leap != ntp.LeapNotSynced || s.Stratum != ntp.StratumUnsynced {
 		t.Errorf("relay behind stratum-16 upstreams advertises leap=%d stratum=%d, want unsynced", s.Leap, s.Stratum)
 	}
+}
+
+// fetch performs one GET against the observability mux under test and
+// returns the status code and body.
+func fetch(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// parseExposition is a minimal Prometheus text-format validator: every
+// line is a comment or `name[{labels}] value`, HELP/TYPE precede their
+// family's samples, and the named series are present. It returns the
+// sample lines keyed by series name (labels stripped).
+func parseExposition(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	seen := map[string]bool{}
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# ") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if f[1] == "TYPE" {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if value == "" {
+			t.Fatalf("line %d: empty value in %q", ln+1, line)
+		}
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, line)
+			}
+			name = series[:br]
+		}
+		if !typed[name] {
+			t.Fatalf("line %d: sample %q precedes its # TYPE", ln+1, name)
+		}
+		seen[name] = true
+	}
+	return seen
+}
+
+// TestRelayHealthEndpoints: the observability sidecar against a live
+// relay — /readyz tracks the degradation ladder (UNSYNCED not ready →
+// SYNCED ready → HOLDOVER not ready once the upstreams go quiet),
+// /healthz stays 200 throughout, and /metrics serves a parseable
+// exposition while the shards answer NTP concurrently.
+func TestRelayHealthEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second loopback relay test")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	upstreams := []string{startServer(t).String(), startServer(t).String()}
+	ml, err := DialMultiLive(MultiLiveOptions{
+		Servers: upstreams,
+		Poll:    25 * time.Millisecond,
+		Timeout: 2 * time.Second,
+		// Short staleness caps so the ladder visibly decays within the
+		// test: no combine for 300 ms reads as HOLDOVER.
+		HoldoverAfter: 300 * time.Millisecond,
+		UnsyncedAfter: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+
+	limit := ratelimit.New(ratelimit.Config{})
+	srv, err := ntp.NewServer(ntp.ServerConfig{
+		Sample: ml.ServerSample(ntp.RefIDFromString("TSCC")),
+		Limit:  limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.ListenShards("udp", "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- sh.Serve(ctx) }()
+	defer func() { cancel(); <-served }()
+
+	reg := NewRelayMetrics(RelayMetricsConfig{Server: srv, Shards: sh, Multi: ml, Limit: limit})
+	ts := httptest.NewServer(NewObservabilityMux(reg, ml.Ready))
+	defer ts.Close()
+
+	// Before any upstream sync: alive, not ready.
+	if code, _ := fetch(t, ts, "/healthz"); code != 200 {
+		t.Fatalf("/healthz before sync = %d, want 200", code)
+	}
+	if code, _ := fetch(t, ts, "/readyz"); code != 503 {
+		t.Fatalf("/readyz before sync = %d, want 503 (ladder UNSYNCED)", code)
+	}
+
+	// Sync the ensemble; readiness must flip on.
+	pollDone := make(chan struct{})
+	pollCtx, stopPolling := context.WithCancel(ctx)
+	go func() { defer close(pollDone); ml.Run(pollCtx, nil) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for !ml.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay never became ready: state %v", ml.Ensemble().State(ml.Counter()))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := fetch(t, ts, "/readyz"); code != 200 {
+		t.Fatalf("/readyz after sync = %d (%q), want 200", code, body)
+	}
+
+	// A live NTP query through the shards, then a scrape: the metrics
+	// must parse and reflect the traffic just served.
+	queryRelay(t, sh.Addr())
+	code, body := fetch(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	seen := parseExposition(t, body)
+	for _, want := range []string{
+		"ntp_requests_total", "ntp_replies_total", "ntp_dropped_total",
+		"ntp_rate_limited_total", "ntp_shards",
+		"ratelimit_tracked_prefixes",
+		"tscclock_ladder_state", "tscclock_ready", "tscclock_exchanges_total",
+		"tscclock_server_weight", "tscclock_server_asym_correction_seconds",
+		"tscclock_upstream_connected",
+	} {
+		if !seen[want] {
+			t.Errorf("/metrics missing series %s", want)
+		}
+	}
+	if !strings.Contains(body, "tscclock_ready 1\n") {
+		t.Errorf("scrape while ready lacks tscclock_ready 1:\n%s", body)
+	}
+
+	// Silence the upstream pollers: past HoldoverAfter the published
+	// readout reads as HOLDOVER and readiness must flip off — while
+	// liveness stays up (the relay still answers, with honest bits).
+	stopPolling()
+	<-pollDone
+	notReadyBy := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := fetch(t, ts, "/readyz"); code == 503 {
+			break
+		}
+		if time.Now().After(notReadyBy) {
+			t.Fatalf("/readyz still ready %v after polling stopped (state %v)",
+				5*time.Second, ml.Ensemble().State(ml.Counter()))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if st := ml.Ensemble().State(ml.Counter()); st != ensemble.StateHoldover {
+		t.Errorf("ladder state after quiet period = %v, want %v", st, ensemble.StateHoldover)
+	}
+	if code, _ := fetch(t, ts, "/healthz"); code != 200 {
+		t.Errorf("/healthz during holdover != 200")
+	}
+	if !strings.Contains(fetchBody(t, ts, "/metrics"), "tscclock_ready 0\n") {
+		t.Errorf("scrape during holdover lacks tscclock_ready 0")
+	}
+}
+
+func fetchBody(t *testing.T, ts *httptest.Server, path string) string {
+	t.Helper()
+	_, body := fetch(t, ts, path)
+	return body
 }
 
 func TestRelayEndToEnd(t *testing.T) {
