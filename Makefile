@@ -1,0 +1,39 @@
+# Developer entry points. Everything here is stdlib + toolchain only;
+# CI (.github/workflows/ci.yml) runs the same commands.
+
+GO ?= go
+
+.PHONY: all build test race lint reprolint fmt bench clean
+
+all: lint test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint is the consolidated static gate: vet, formatting, and the
+# repo's own reprolint analyzer suite (see internal/analysis — the
+# //repro: directives and what each analyzer enforces).
+lint: reprolint
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+reprolint:
+	$(GO) run ./tools/reprolint ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkProcess -benchtime 1000x -benchmem
+	$(GO) test ./internal/ensemble/ -run xxx -bench BenchmarkEnsemble -benchtime 10x -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -220,11 +220,15 @@ func (e *Ensemble) processWithIdentity(server int, ta, tf uint64, tb, te float64
 // snapshot of the whole combine (per-server clocks, weights, selection
 // result) answering every read consistently, with a staleness bound
 // (Readout.Age). Never nil, never blocks.
+//
+//repro:readpath
 func (e *Ensemble) Readout() *ensemble.Readout { return e.ens.Readout() }
 
 // AbsoluteTime reads the combined absolute clock at a counter value:
 // the trust-weighted median of the per-server absolute clocks.
 // Lock-free: a pure function of the latest published combine.
+//
+//repro:readpath
 func (e *Ensemble) AbsoluteTime(counter uint64) float64 {
 	return e.ens.Readout().AbsoluteTime(counter)
 }
@@ -232,12 +236,16 @@ func (e *Ensemble) AbsoluteTime(counter uint64) float64 {
 // Between measures the interval between two counter readings with the
 // combined difference clock (combined rate only), like Clock.Between.
 // Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) Between(c1, c2 uint64) float64 {
 	return e.ens.Readout().DifferenceSpan(c1, c2)
 }
 
 // Period returns the combined rate estimate (seconds per cycle).
 // Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) Period() float64 {
 	return e.ens.Readout().RateHat()
 }
@@ -245,11 +253,15 @@ func (e *Ensemble) Period() float64 {
 // Weights returns the current normalized per-server combining weights
 // (zero for warmup servers and flagged falsetickers; see
 // EnsembleStatus.Weight for the all-excluded transient). Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) Weights() []float64 {
 	return e.ens.Readout().Weights()
 }
 
 // ServerStates returns the per-server trust diagnostics. Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) ServerStates() []ensemble.ServerState {
 	return e.ens.Readout().ServerStates()
 }
@@ -258,17 +270,23 @@ func (e *Ensemble) ServerStates() []ensemble.ServerState {
 // read at the given counter value: the writer-side base state capped by
 // how stale the latest combine is (older than HoldoverAfter reads as at
 // most HOLDOVER, older than UnsyncedAfter as UNSYNCED). Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) State(counter uint64) ensemble.State {
 	return e.ens.Readout().State(counter)
 }
 
 // Health returns the serving-facing health summary of the voting set
 // (frozen at the last trusted combine while no server votes). Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) Health() ensemble.Health {
 	return e.ens.Readout().Health
 }
 
 // Exchanges returns the total number of exchanges processed. Lock-free.
+//
+//repro:readpath
 func (e *Ensemble) Exchanges() int {
 	return e.ens.Readout().Exchanges
 }

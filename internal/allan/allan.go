@@ -4,6 +4,8 @@
 // bound. The Allan deviation at scale τ is interpreted as the typical
 // size of the rate error y_τ(t) measured over intervals of length τ
 // (equation 4); it is essentially a Haar wavelet spectral analysis.
+//
+//repro:deterministic
 package allan
 
 import (

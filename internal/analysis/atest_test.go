@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture harness is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: each directory under
+// testdata/src/<name> is one package; lines carry expectations as
+//
+//	expr // want "regexp" "another regexp"
+//
+// and the test fails on any unmatched expectation or unexpected
+// diagnostic. Fixtures import only the standard library, so the source
+// importer resolves them offline.
+
+// loadFixture parses and type-checks testdata/src/<name> into a
+// *Package the runner accepts.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	build.Default.CgoEnabled = false
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: name,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dirs:       parseDirectives(fset, files, info),
+	}
+}
+
+// want is one expectation: a diagnostic on a line whose message
+// matches the regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Expectations may be backquoted (the natural form for regexps) or
+// double-quoted.
+var wantRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts // want expectations from the fixture comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both comment forms carry expectations; the block form
+				// exists for lines whose trailing position is already taken
+				// by a //repro: directive (stale-waiver fixtures).
+				raw := c.Text
+				if strings.HasPrefix(raw, "/*") {
+					raw = "// " + strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(raw, "/*"), "*/"))
+				}
+				text, ok := strings.CutPrefix(raw, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed // want comment (no quoted regexps)", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the analyzers over the fixture and checks the
+// diagnostics against the // want expectations, both ways.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	wants := collectWants(t, pkg)
+	diags := Run([]*Package{pkg}, analyzers)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T)    { runFixture(t, "wallclock", Wallclock) }
+func TestHotPathAllocFixture(t *testing.T) { runFixture(t, "hotpathalloc", HotPathAlloc) }
+func TestLockFreeReadFixture(t *testing.T) { runFixture(t, "lockfreeread", LockFreeRead) }
+func TestAtomicPubFixture(t *testing.T)    { runFixture(t, "atomicpub", AtomicPub) }
+
+// TestWallclockIgnoresUnannotatedPackages: the same forbidden calls in
+// a package without //repro:deterministic produce nothing.
+func TestWallclockIgnoresUnannotatedPackages(t *testing.T) {
+	runFixture(t, "notdeterministic", Wallclock)
+}
+
+// TestFixturesListAnalyzers keeps All() and the fixture set in sync: a
+// new analyzer must arrive with a fixture.
+func TestFixturesListAnalyzers(t *testing.T) {
+	fixtures := map[string]bool{}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fixtures[e.Name()] = true
+	}
+	var missing []string
+	for _, a := range All() {
+		if !fixtures[a.Name] {
+			missing = append(missing, a.Name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("analyzers without a testdata/src fixture: %s", strings.Join(missing, ", "))
+	}
+}

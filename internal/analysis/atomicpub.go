@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPub enforces publish-then-never-mutate on types declared
+// //repro:immutable (the core and ensemble Readout snapshots and their
+// publication-slab slots). The race detector only catches a
+// mutate-after-publish when a test happens to interleave a reader with
+// the write; this analyzer rejects the write itself: any assignment to
+// a field of an immutable type — directly, through a pointer, or into
+// an element of one of its slice fields — anywhere in the module,
+// unless the enclosing function is annotated //repro:builder (the
+// constructor set that fills a snapshot before the atomic store makes
+// it visible). Writes into a value-typed local copy are fine: copying
+// a snapshot and editing the copy is exactly what immutability buys.
+var AtomicPub = &Analyzer{
+	Name:   "atomicpub",
+	Doc:    "forbid field writes to //repro:immutable snapshot types outside //repro:builder functions",
+	Waiver: "mutate-ok",
+	Run:    runAtomicPub,
+}
+
+func runAtomicPub(pass *Pass) {
+	decls := funcDecls(pass)
+	for fn, fd := range decls {
+		if pass.Dirs.FuncHas(fn, DirBuilder) {
+			continue
+		}
+		fnName := fn.Name()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkImmutableWrite(pass, lhs, fnName)
+				}
+			case *ast.IncDecStmt:
+				checkImmutableWrite(pass, n.X, fnName)
+			}
+			return true
+		})
+	}
+}
+
+// checkImmutableWrite reports a diagnostic when lhs writes into shared
+// storage belonging to an //repro:immutable type.
+func checkImmutableWrite(pass *Pass, lhs ast.Expr, fnName string) {
+	// Walk outward-in: at each step, a write through the outer
+	// expression is a write into whatever the inner expression holds,
+	// so the first immutable owner found on a shared step is the
+	// violated type.
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// Field write: the owner is the (pointer-free) type of x.X.
+			sel, ok := pass.Info.Selections[x]
+			if ok && sel.Kind() == types.FieldVal {
+				ownerT := pass.Info.TypeOf(x.X)
+				owner, viaPtr := derefNamed(ownerT)
+				if pass.Global.IsImmutable(owner) && (viaPtr || sharedLvalue(pass, x.X)) {
+					pass.Reportf(lhs.Pos(),
+						"write to field %s of immutable type %s outside a //repro:builder function (mutate-after-publish hazard, //repro:immutable)",
+						x.Sel.Name, owner.Obj().Name())
+					return
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			// *p = v: overwriting the pointed-to immutable value whole.
+			// The operand's type is the pointer; derefNamed crosses it.
+			if owner, viaPtr := derefNamed(pass.Info.TypeOf(x.X)); viaPtr && pass.Global.IsImmutable(owner) {
+				pass.Reportf(lhs.Pos(),
+					"write through *%s pointer outside a //repro:builder function (mutate-after-publish hazard, //repro:immutable)",
+					owner.Obj().Name())
+				return
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// derefNamed unwraps one level of pointer and returns the named type
+// beneath, with viaPtr reporting whether a pointer was crossed.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	viaPtr := false
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+		viaPtr = true
+	}
+	n, _ := t.(*types.Named)
+	return n, viaPtr
+}
+
+// sharedLvalue reports whether evaluating e reaches storage shared
+// beyond a local value: a value-typed local (or value receiver) is a
+// private copy, anything reached through a pointer, slice, map, or a
+// package-level variable is shared.
+func sharedLvalue(pass *Pass, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			obj, _ := pass.Info.Uses[x].(*types.Var)
+			return obj != nil && obj.Parent() == pass.Pkg.Scope()
+		case *ast.StarExpr:
+			return true
+		case *ast.SelectorExpr:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					return true
+				}
+			}
+			e = x.X
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecls maps every function and method declared in the package to
+// its syntax.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// annotated is one function in the propagated annotation set: the
+// function itself plus the root annotation it inherits from (empty via
+// for the directly annotated roots).
+type annotated struct {
+	decl *ast.FuncDecl
+	via  string // root function name, "" when directly annotated
+}
+
+// propagate computes the transitive closure of the directly annotated
+// roots over direct static intra-package calls: if a hot function
+// calls a same-package helper by name, the helper runs on the hot path
+// too and inherits the annotation. Calls through function values,
+// interfaces, or into other packages are invisible here — the
+// conservative, syntactic contract documented in doc.go.
+func propagate(pass *Pass, directive string) map[*types.Func]annotated {
+	decls := funcDecls(pass)
+	set := map[*types.Func]annotated{}
+	var queue []*types.Func
+	for fn := range decls {
+		if pass.Dirs.FuncHas(fn, directive) {
+			set[fn] = annotated{decl: decls[fn]}
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := set[fn].via
+		if root == "" {
+			root = fn.Name()
+		}
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			// A go statement's callee runs on its own goroutine, not on
+			// this function's path; the spawn itself is what the hotpath
+			// and readpath analyzers flag.
+			if _, isGo := n.(*ast.GoStmt); isGo {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			callee, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			// Calls to methods of instantiated generics resolve to the
+			// instantiation's object; the declaration map is keyed by the
+			// generic origin.
+			callee = callee.Origin()
+			decl, ok := decls[callee]
+			if !ok {
+				return true
+			}
+			if _, done := set[callee]; done {
+				return true
+			}
+			set[callee] = annotated{decl: decl, via: root}
+			queue = append(queue, callee)
+			return true
+		})
+	}
+	return set
+}
+
+// viaSuffix renders the inherited-annotation suffix for diagnostics in
+// propagated callees.
+func (a annotated) viaSuffix(directive string) string {
+	if a.via == "" {
+		return ""
+	}
+	return " (reached from //repro:" + directive + " " + a.via + ")"
+}
+
+// receiverObj returns the declared receiver variable of a method, or
+// nil for plain functions and anonymous receivers.
+func receiverObj(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

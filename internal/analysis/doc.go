@@ -1,0 +1,82 @@
+// Package analysis implements reprolint: four static analyzers that
+// mechanically enforce the invariants the clock's robustness argument
+// rests on. Seven PRs in, properties like "the engine never reads the
+// wall clock", "the packet path does not allocate", and "a published
+// readout is never mutated" were guaranteed only by convention plus a
+// handful of point tests (TestReadPathZeroAlloc, the race suites) that
+// cover specific call sites. reprolint turns them into lint-time
+// failures over the whole codebase, so the guarantee no longer depends
+// on remembering to write the right test for each new call site.
+//
+// The suite is driven by directive comments. A directive is a comment
+// line that begins exactly with "//repro:" (no space, mirroring the
+// //go: convention); prose that merely mentions a directive mid-line
+// is never a directive.
+//
+// Package directive (in the package doc comment of any file):
+//
+//	//repro:deterministic
+//
+// marks every file of the package as wall-clock-free: the wallclock
+// analyzer forbids time.Now/Since/Until, sleeps, timers, tickers, the
+// global math/rand generators and crypto/rand. Simulated time comes in
+// through inputs; randomness through an explicitly seeded source.
+//
+// Function directives (in the doc comment of a func/method):
+//
+//	//repro:hotpath
+//
+// marks a per-packet function. The hotpathalloc analyzer flags
+// allocation-inducing constructs (append, make, new, slice/map
+// literals, &composite literals, fmt calls, string concatenation,
+// interface boxing, escaping closures, go statements, string<->[]byte
+// conversions) in the function and in every same-package function it
+// statically calls, transitively.
+//
+//	//repro:readpath
+//
+// marks a lock-free read function: a pure function of a published
+// snapshot. The lockfreeread analyzer forbids sync lock acquisition,
+// channel operations, goroutine spawns, atomic mutations (anything but
+// Load), and writes to receiver or package-level state — again
+// including same-package static callees.
+//
+// Type directive (on a type declaration):
+//
+//	//repro:immutable
+//
+// marks a publish-then-never-mutate snapshot type. The atomicpub
+// analyzer flags every write to a field of such a type (directly,
+// through pointers, or into elements of its slice fields) anywhere in
+// the module, except inside functions annotated
+//
+//	//repro:builder
+//
+// — the constructor/builder set that fills a snapshot before it is
+// published.
+//
+// Waivers. Every analyzer honors a line waiver that must carry a
+// reason:
+//
+//	//repro:wallclock-ok <reason>   (wallclock)
+//	//repro:alloc-ok <reason>       (hotpathalloc)
+//	//repro:readpath-ok <reason>    (lockfreeread)
+//	//repro:mutate-ok <reason>      (atomicpub)
+//
+// placed at the end of the offending line or on the line directly
+// above it. A waiver with no reason is itself reported: the point of a
+// waiver is to put the justification in the diff.
+//
+// The analyzers are deliberately conservative approximations. They see
+// direct static calls only (calls through function values, interfaces,
+// or other packages are out of scope), and hotpathalloc flags
+// constructs that MAY allocate (an append into preallocated capacity
+// is flagged and waived with the reason explaining the capacity
+// argument). The runtime tests the analyzers back — the AllocsPerRun
+// gates, the race suites — stay in place; reprolint is the static,
+// whole-codebase layer above them.
+//
+// Everything here is stdlib-only: the loader parses and type-checks
+// the module with go/parser and go/types using the source importer, so
+// neither the module nor the tools need golang.org/x/tools.
+package analysis

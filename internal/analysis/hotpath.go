@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc flags allocation-inducing constructs in //repro:hotpath
+// functions and their same-package static callees. The zero-alloc
+// guarantee of the per-packet path was previously backed only by
+// testing.AllocsPerRun gates over specific entry points; this analyzer
+// makes the property visible at every call site the moment it is
+// written, including helpers a test never reaches. Findings mean "MAY
+// allocate": an append into capacity the caller proved is waived with
+// //repro:alloc-ok and the proof in the reason.
+var HotPathAlloc = &Analyzer{
+	Name:   "hotpathalloc",
+	Doc:    "flag allocation-inducing constructs in //repro:hotpath functions and their intra-package callees",
+	Waiver: "alloc-ok",
+	Run:    runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	hot := propagate(pass, DirHotpath)
+	for _, fn := range hot {
+		checkHotBody(pass, fn)
+	}
+}
+
+func checkHotBody(pass *Pass, fn annotated) {
+	suffix := fn.viaSuffix(DirHotpath)
+	// Immediately-invoked func literals do not escape; collect them so
+	// the FuncLit case below can skip them (their bodies are still
+	// scanned).
+	invoked := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path (//repro:hotpath)%s", what, suffix)
+	}
+
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, report)
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value == nil {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !invoked[n] {
+				report(n.Pos(), "func literal may be heap-allocated (escaping closure)")
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call expression: allocating builtins,
+// allocating conversions, fmt, and interface boxing of arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		target := tv.Type
+		src := pass.Info.TypeOf(call.Args[0])
+		if types.IsInterface(target.Underlying()) && src != nil && !types.IsInterface(src.Underlying()) {
+			report(call.Pos(), "conversion to interface boxes the value (may allocate)")
+			return
+		}
+		if convAllocates(target, src) {
+			report(call.Pos(), "string/byte-slice conversion allocates")
+		}
+		return
+	}
+
+	// Builtins.
+	var calleeID *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		calleeID = f
+	case *ast.SelectorExpr:
+		calleeID = f.Sel
+	}
+	if calleeID != nil {
+		if b, ok := pass.Info.Uses[calleeID].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "make":
+				report(call.Pos(), "make allocates")
+			}
+			return
+		}
+		if obj := pass.Info.Uses[calleeID]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt."+obj.Name()+" allocates (formats through interfaces)")
+			return
+		}
+	}
+
+	// Interface boxing at the call boundary: a concrete argument bound
+	// to an interface parameter is boxed. fmt is caught above; this
+	// catches everything else (sort.Interface shims, error wrapping,
+	// logging) that smuggles an allocation into the packet path.
+	sig, ok := pass.Info.TypeOf(fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				if i == params.Len()-1 {
+					pt = params.At(params.Len() - 1).Type()
+				}
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if basic, ok := at.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "argument boxed into interface parameter (may allocate)")
+	}
+}
+
+// convAllocates reports whether a conversion from src to target copies
+// its backing storage: string <-> []byte / []rune.
+func convAllocates(target, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+			e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(target) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(target) && isStr(src))
+}

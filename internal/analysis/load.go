@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked, directive-indexed package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dirs       *Directives
+}
+
+// chainImporter resolves module-internal imports from the packages this
+// load has already type-checked (so every package in the module is
+// checked exactly once, in dependency order) and everything else —
+// the standard library — through the stdlib source importer.
+type chainImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.loaded[path]; ok {
+		return p, nil
+	}
+	return c.fallback.ImportFrom(path, dir, mode)
+}
+
+// Load parses, type-checks, and directive-indexes the packages matched
+// by patterns ("./...", "dir/...", or plain directories, resolved
+// relative to dir; an empty dir means the working directory). It finds
+// the enclosing module root by walking up to go.mod, analyzes only
+// non-test files of the current build configuration, and skips
+// testdata and hidden directories exactly like the go tool.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	// Analyze the pure-Go shape of the tree: the module itself has no
+	// cgo, and source-importing cgo-tainted stdlib dependencies (net)
+	// is neither possible nor needed.
+	build.Default.CgoEnabled = false
+
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := expandPatterns(abs, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Survey build metadata first: import paths and the intra-module
+	// dependency edges that drive the type-checking order.
+	type meta struct {
+		dir        string
+		importPath string
+		goFiles    []string
+		imports    []string
+	}
+	byPath := map[string]*meta{}
+	var order []string
+	for _, d := range dirs {
+		bp, err := build.ImportDir(d, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			if _, ok := err.(*build.MultiplePackageError); ok {
+				return nil, fmt.Errorf("reprolint: %w", err)
+			}
+			return nil, fmt.Errorf("reprolint: %s: %w", d, err)
+		}
+		if len(bp.GoFiles) == 0 {
+			continue
+		}
+		ip, err := importPathFor(root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		byPath[ip] = &meta{dir: d, importPath: ip, goFiles: bp.GoFiles, imports: bp.Imports}
+		order = append(order, ip)
+	}
+	sort.Strings(order)
+
+	// Topological sort over intra-module imports. Imports that point
+	// inside the module but outside the pattern set are loaded too:
+	// type-checking needs them, and directives anywhere in the module
+	// must be visible (an immutable type is immutable even when only
+	// its mutator's package was asked for).
+	for i := 0; i < len(order); i++ {
+		m := byPath[order[i]]
+		for _, imp := range m.imports {
+			if !inModule(imp, modPath) || byPath[imp] != nil {
+				continue
+			}
+			d := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(imp, modPath), "/")))
+			bp, err := build.ImportDir(d, 0)
+			if err != nil {
+				return nil, fmt.Errorf("reprolint: resolving %s: %w", imp, err)
+			}
+			byPath[imp] = &meta{dir: d, importPath: imp, goFiles: bp.GoFiles, imports: bp.Imports}
+			order = append(order, imp)
+		}
+	}
+
+	var sorted []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case 1:
+			return fmt.Errorf("reprolint: import cycle through %s", ip)
+		case 2:
+			return nil
+		}
+		state[ip] = 1
+		m := byPath[ip]
+		deps := append([]string(nil), m.imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if inModule(imp, modPath) && byPath[imp] != nil {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[ip] = 2
+		sorted = append(sorted, ip)
+		return nil
+	}
+	for _, ip := range order {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		loaded:   map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+
+	var pkgs []*Package
+	for _, ip := range sorted {
+		m := byPath[ip]
+		var files []*ast.File
+		for _, name := range m.goFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ip, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("reprolint: type-checking %s: %w", ip, err)
+		}
+		imp.loaded[ip] = tpkg
+		pkgs = append(pkgs, &Package{
+			Dir:        m.dir,
+			ImportPath: ip,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			Info:       info,
+			Dirs:       parseDirectives(fset, files, info),
+		})
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("reprolint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("reprolint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// inModule reports whether the import path lies inside the module.
+func inModule(importPath, modPath string) bool {
+	return importPath == modPath || strings.HasPrefix(importPath, modPath+"/")
+}
+
+// importPathFor maps a directory inside the module root to its import
+// path.
+func importPathFor(root, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("reprolint: %s is outside module root %s", dir, root)
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// expandPatterns resolves the CLI patterns to candidate directories.
+func expandPatterns(base, root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat = "./..."
+		}
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(base, d)
+		}
+		if !recursive {
+			add(d)
+			continue
+		}
+		err := filepath.WalkDir(d, func(path string, entry os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !entry.IsDir() {
+				return nil
+			}
+			name := entry.Name()
+			// The go tool's pattern rules: testdata, dot, and underscore
+			// directories never match "...".
+			if path != d && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockFreeRead enforces the published-snapshot contract in
+// //repro:readpath functions and their same-package static callees: a
+// read is a pure function of a loaded readout. No lock may be
+// acquired (a reader must never block the writer or another reader),
+// no channel touched, no goroutine spawned, and no receiver or global
+// state written — the only synchronization a read path is allowed is
+// an atomic Load. This is the PR 4 invariant ("reads take no mutex,
+// perturb nothing") as a whole-package check instead of a per-call-site
+// race test.
+var LockFreeRead = &Analyzer{
+	Name:   "lockfreeread",
+	Doc:    "forbid locks, channel ops, goroutines, atomic mutations, and state writes in //repro:readpath functions",
+	Waiver: "readpath-ok",
+	Run:    runLockFreeRead,
+}
+
+// syncBlocking lists the sync types whose methods a read path must not
+// call. sync.Pool is included: Get/Put mutate shared state and may
+// allocate; a read path wanting scratch uses the stack.
+var syncBlocking = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+func runLockFreeRead(pass *Pass) {
+	read := propagate(pass, DirReadpath)
+	for _, fn := range read {
+		checkReadBody(pass, fn)
+	}
+}
+
+func checkReadBody(pass *Pass, fn annotated) {
+	suffix := fn.viaSuffix(DirReadpath)
+	recv := receiverObj(pass, fn.decl)
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in lock-free read path (//repro:readpath)%s", what, suffix)
+	}
+
+	checkWrite := func(lhs ast.Expr) {
+		root, shared := lvalueRoot(pass, lhs)
+		if root == nil {
+			return
+		}
+		obj, _ := pass.Info.Uses[root].(*types.Var)
+		if obj == nil {
+			return
+		}
+		switch {
+		case recv != nil && obj == recv && shared:
+			report(lhs.Pos(), "write to receiver state")
+		case obj.Parent() == pass.Pkg.Scope():
+			report(lhs.Pos(), "write to package-level state")
+		}
+	}
+
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(n.Pos(), "select statement")
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.CallExpr:
+			checkReadCall(pass, n, report)
+		}
+		return true
+	})
+}
+
+// checkReadCall flags blocking-sync method calls and atomic mutations.
+func checkReadCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		if b.Name() == "close" {
+			report(call.Pos(), "close of channel")
+		}
+		return
+	}
+	callee, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || callee.Pkg() == nil {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "sync":
+		recv := callee.Type().(*types.Signature).Recv()
+		if recv == nil {
+			// sync.OnceFunc and friends return closures; calling the
+			// constructor in a read path is already suspicious enough.
+			report(call.Pos(), "sync."+callee.Name()+" call")
+			return
+		}
+		name := namedTypeName(recv.Type())
+		if syncBlocking[name] {
+			report(call.Pos(), "sync."+name+"."+callee.Name()+" call (read paths are lock-free)")
+		}
+	case "sync/atomic":
+		// Load and Loadable accessors are the one permitted class;
+		// every mutation (Store, Add, Swap, CompareAndSwap, Or, And)
+		// makes a "read" visible to other readers and races the writer.
+		if strings.HasPrefix(callee.Name(), "Load") {
+			return
+		}
+		recv := callee.Type().(*types.Signature).Recv()
+		where := "sync/atomic." + callee.Name()
+		if recv != nil {
+			where = "atomic." + namedTypeName(recv.Type()) + "." + callee.Name()
+		}
+		report(call.Pos(), where+" mutates shared state")
+	}
+}
+
+// namedTypeName unwraps pointers and generic instantiation down to the
+// receiver's type name.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// lvalueRoot walks an assignment target down to its base identifier,
+// reporting whether the write lands in storage shared beyond the
+// identifier's own value: any step through a pointer dereference,
+// slice/map element, or field selector on a pointer means writing
+// through the base perturbs state others can see. A plain `x = v` or a
+// write into a value-typed local struct stays private (shared=false).
+func lvalueRoot(pass *Pass, e ast.Expr) (root *ast.Ident, shared bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return x, shared
+		case *ast.StarExpr:
+			shared = true
+			e = x.X
+		case *ast.SelectorExpr:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					shared = true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					shared = true
+				}
+			}
+			e = x.X
+		default:
+			return nil, shared
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestReprolintRepoClean runs the full analyzer suite over the whole
+// module and fails on any finding: the reprolint gate, enforced by the
+// ordinary test run so a bare `go test ./...` already rejects a
+// wall-clock read in a deterministic package or an unwaived hot-path
+// allocation — CI wiring is a second line, not the only one.
+func TestReprolintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — the module walk is broken", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the construct, or waive it with a reasoned //repro:<kind>-ok comment (see internal/analysis/doc.go)")
+	}
+}

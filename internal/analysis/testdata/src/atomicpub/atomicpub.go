@@ -1,0 +1,58 @@
+// Package atomicpub is the atomicpub analyzer fixture: an immutable
+// snapshot type, its sanctioned builder, and the mutation shapes the
+// analyzer must catch — or leave alone.
+package atomicpub
+
+// Snap is a published read snapshot.
+//
+//repro:immutable
+type Snap struct {
+	A  int
+	Xs []int
+}
+
+var current *Snap
+
+// build fills a fresh snapshot before publication.
+//
+//repro:builder
+func build(a int, xs []int) *Snap {
+	s := &Snap{}
+	s.A = a
+	s.Xs = xs
+	return s
+}
+
+// MutateField writes a published snapshot through a pointer.
+func MutateField(p *Snap) {
+	p.A = 1 // want `write to field A of immutable type Snap`
+}
+
+// MutateElem writes into a snapshot's slice field.
+func MutateElem(p *Snap) {
+	p.Xs[0] = 1 // want `write to field Xs of immutable type Snap`
+}
+
+// MutateWhole overwrites the pointed-to snapshot wholesale.
+func MutateWhole(p *Snap) {
+	*p = Snap{} // want `write through \*Snap pointer`
+}
+
+// MutateGlobal writes a snapshot held in package-level storage.
+func MutateGlobal() {
+	current.A++ // want `write to field A of immutable type Snap`
+}
+
+// CopyAndEdit edits a value-typed private copy: exactly what
+// immutability buys, not a finding.
+func CopyAndEdit(p *Snap) int {
+	s := *p
+	s.A = 2
+	return s.A
+}
+
+// Waived proves a reasoned waiver suppresses the finding.
+func Waived(p *Snap) {
+	//repro:mutate-ok fixture: single-owner snapshot recycled before publication, guarded by the builder epoch
+	p.A = 3
+}

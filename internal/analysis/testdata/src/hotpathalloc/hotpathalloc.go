@@ -1,0 +1,48 @@
+// Package hotpathalloc is the hotpathalloc analyzer fixture: one
+// annotated hot function exercising each allocation class, one helper
+// reached by propagation, and cold code that stays unflagged.
+package hotpathalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var sink any
+
+func takesAny(v any) { sink = v }
+
+// Hot is the annotated entry point.
+//
+//repro:hotpath
+func Hot(xs []int, a, b string) int {
+	s := make([]int, 4)          // want `make allocates in hot path`
+	xs = append(xs, 1)           // want `append may grow its backing array`
+	_ = []int{1, 2}              // want `slice literal allocates`
+	p := &point{x: 1}            // want `&composite literal allocates`
+	_ = fmt.Sprintf("%d", p.x)   // want `fmt\.Sprintf allocates`
+	c := a + b                   // want `string concatenation allocates`
+	takesAny(42)                 // want `argument boxed into interface parameter`
+	f := func() int { return 1 } // want `func literal may be heap-allocated`
+	helper()
+	return len(s) + len(c) + f()
+}
+
+// helper is unannotated but reached from Hot by a direct static call,
+// so its allocation is charged to the hot path.
+func helper() []byte {
+	return make([]byte, 8) // want `make allocates in hot path .*reached from //repro:hotpath Hot`
+}
+
+// HotWaived proves a reasoned waiver suppresses the finding.
+//
+//repro:hotpath
+func HotWaived(buf []byte) []byte {
+	//repro:alloc-ok fixture: caller guarantees capacity, asserted by an AllocsPerRun gate
+	return append(buf, 0)
+}
+
+// Cold is unannotated and unreachable from any hot root: allocations
+// here are nobody's business.
+func Cold() []int {
+	return make([]int, 1024)
+}

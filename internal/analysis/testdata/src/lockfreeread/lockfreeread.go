@@ -1,0 +1,56 @@
+// Package lockfreeread is the lockfreeread analyzer fixture: annotated
+// read paths reaching for every forbidden synchronization class, plus
+// the permitted atomic loads and unannotated writer-side code.
+package lockfreeread
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var reads int
+
+type state struct {
+	mu  sync.Mutex
+	seq atomic.Uint64
+	ch  chan int
+	n   int
+}
+
+// Read is the annotated entry point.
+//
+//repro:readpath
+func (s *state) Read() int {
+	s.mu.Lock()  // want `sync\.Mutex\.Lock call \(read paths are lock-free\)`
+	s.n = 1      // want `write to receiver state`
+	s.ch <- 1    // want `channel send`
+	<-s.ch       // want `channel receive`
+	reads++      // want `write to package-level state`
+	s.seq.Add(1) // want `atomic\.Uint64\.Add mutates shared state`
+	go s.drain() // want `go statement`
+	_ = s.seq.Load()
+	return s.n + s.locked()
+}
+
+// locked is unannotated but reached from Read by a direct static call.
+func (s *state) locked() int {
+	s.mu.Lock()         // want `sync\.Mutex\.Lock call .*reached from //repro:readpath Read`
+	defer s.mu.Unlock() // want `sync\.Mutex\.Unlock call .*reached from //repro:readpath Read`
+	return s.n
+}
+
+// ReadWaived proves a reasoned waiver suppresses the finding.
+//
+//repro:readpath
+func (s *state) ReadWaived() uint64 {
+	//repro:readpath-ok fixture: monotonic read-side sequence bump, wait-free and writer-invisible
+	return s.seq.Add(0)
+}
+
+// drain is the writer side: unannotated, free to block.
+func (s *state) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch {
+	}
+}

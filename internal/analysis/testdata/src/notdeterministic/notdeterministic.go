@@ -1,0 +1,16 @@
+// Package notdeterministic is the wallclock negative fixture: identical
+// wall-clock reads in a package WITHOUT //repro:deterministic produce
+// no findings — the analyzer is opt-in per package, not global.
+package notdeterministic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Boundary code owns the real clock; nothing here is flagged.
+func Boundary() float64 {
+	t := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(t).Seconds() + rand.Float64()
+}

@@ -1,0 +1,48 @@
+// Package wallclock is the wallclock analyzer fixture: a package
+// declared deterministic that reaches for ambient time and randomness.
+//
+//repro:deterministic
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reaches for every class of forbidden nondeterminism.
+func Bad() float64 {
+	t := time.Now()       // want `time\.Now in deterministic package .*take the instant as an input`
+	time.Sleep(time.Hour) // want `time\.Sleep in deterministic package .*simulation schedule`
+	d := time.Since(t)    // want `time\.Since in deterministic package`
+	u := rand.Float64()   // want `math/rand\.Float64 in deterministic package`
+	rand.Shuffle(1, nil)  // want `math/rand\.Shuffle in deterministic package`
+	_ = time.NewTicker(d) // want `time\.NewTicker in deterministic package`
+	var tm *time.Timer    // want `use of time\.Timer in deterministic package`
+	_ = tm
+	return u + d.Seconds()
+}
+
+// Explicit sources threaded through inputs are the sanctioned pattern:
+// none of this is flagged.
+func Good(src *rand.Rand, nowNs int64) float64 {
+	return src.Float64() + float64(nowNs)
+}
+
+// Waived keeps one excused wall-clock read, with the reason recorded.
+func Waived() time.Time {
+	//repro:wallclock-ok fixture: boundary code stamping a log record, not an algorithm input
+	return time.Now()
+}
+
+// WaivedNoReason shows that a bare waiver does not suppress silently.
+func WaivedNoReason() time.Time {
+	//repro:wallclock-ok
+	return time.Now() // want `waiver is missing a reason`
+}
+
+// The excused construct below the waiver is gone: the waiver itself is
+// flagged as stale.
+func Stale() int {
+	/* want `unused //repro:wallclock-ok waiver` */ //repro:wallclock-ok nothing here needs excusing anymore
+	return 0
+}

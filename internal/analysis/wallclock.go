@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// wallclockForbidden lists the nondeterminism sources the wallclock
+// analyzer rejects in //repro:deterministic packages, by package path
+// and object name ("*" forbids the whole package). Each entry carries
+// the remedy the diagnostic suggests.
+var wallclockForbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "take the instant as an input (counter value or timebase seconds)",
+		"Since":     "difference two injected instants instead",
+		"Until":     "difference two injected instants instead",
+		"Sleep":     "model waiting in the simulation schedule",
+		"After":     "model waiting in the simulation schedule",
+		"AfterFunc": "model waiting in the simulation schedule",
+		"Tick":      "drive iteration from the exchange schedule",
+		"NewTimer":  "drive iteration from the exchange schedule",
+		"NewTicker": "drive iteration from the exchange schedule",
+		"Timer":     "drive iteration from the exchange schedule",
+		"Ticker":    "drive iteration from the exchange schedule",
+	},
+	// The global generators share process-wide, seed-by-default state;
+	// deterministic code draws from an explicitly seeded rand.New /
+	// internal/rng source threaded through its inputs.
+	"math/rand": {
+		"Seed": "seed an explicit rand.New source instead", "Int": "", "Intn": "", "Int31": "", "Int31n": "",
+		"Int63": "", "Int63n": "", "Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "Read": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint": "", "UintN": "", "Uint32": "", "Uint32N": "", "Uint64": "", "Uint64N": "",
+		"Float32": "", "Float64": "", "ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "N": "",
+	},
+	"crypto/rand": {"*": "deterministic code has no business with an entropy source"},
+}
+
+// Wallclock forbids wall-clock reads, timers, and ambient randomness in
+// packages declared //repro:deterministic. The engine's replayability
+// argument — same exchange trace in, bit-identical filtering out —
+// holds only while every quantity the filters consume arrives through
+// their inputs; one time.Now in a quality heuristic silently breaks
+// golden-trace equivalence in a way no fixed-seed test can catch.
+var Wallclock = &Analyzer{
+	Name:   "wallclock",
+	Doc:    "forbid time.Now/timers/ambient randomness in //repro:deterministic packages",
+	Waiver: "wallclock-ok",
+	Run:    runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	if !pass.Dirs.Deterministic {
+		return
+	}
+	for id, obj := range pass.Info.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		byName, ok := wallclockForbidden[pkg.Path()]
+		if !ok {
+			continue
+		}
+		// Methods are exempt: the forbidden set is the package-level API
+		// (ambient clock, shared global generator). A method call like
+		// src.Float64() on an explicitly seeded *rand.Rand threaded
+		// through the inputs is exactly the sanctioned pattern.
+		if fn, isFunc := obj.(*types.Func); isFunc {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue
+			}
+		}
+		remedy, hit := byName[obj.Name()]
+		if !hit {
+			remedy, hit = byName["*"]
+			if !hit {
+				continue
+			}
+		}
+		// Only flag value/function uses and type uses, not e.g. the
+		// import spec itself (those come through Implicits/Defs, not
+		// Uses, so Uses is already the right set).
+		msg := pkg.Path() + "." + obj.Name() + " in deterministic package (//repro:deterministic)"
+		if _, isType := obj.(*types.TypeName); isType {
+			msg = "use of " + msg
+		}
+		if remedy != "" {
+			msg += ": " + remedy
+		}
+		pass.Reportf(id.Pos(), "%s", msg)
+	}
+}

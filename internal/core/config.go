@@ -21,6 +21,8 @@
 // Everything is calibrated in units of the host timestamping error
 // δ = 15 µs and grounded in the two hardware constants the paper
 // measures: the SKM scale τ* ≈ 1000 s and the 0.1 PPM stability bound.
+//
+//repro:deterministic
 package core
 
 import (

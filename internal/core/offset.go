@@ -71,6 +71,7 @@ func (s *Sync) updateOffset(rec *record, res *Result) {
 	// settings the horizon is far wider than τ′ and this never fires.
 	if epsP*(fnow-s.scan.At(start).ftf) > cutoff {
 		lim := n - 1 - start
+		//repro:alloc-ok cold branch (the horizon never binds at paper window settings) and sort.Search does not retain f, so the closure stays on the stack; BenchmarkProcess asserts 0 allocs/op
 		start += sort.Search(lim, func(i int) bool {
 			return epsP*(fnow-s.scan.At(start+i).ftf) <= cutoff
 		})

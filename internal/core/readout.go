@@ -22,6 +22,8 @@ import "sync/atomic"
 // copying a Readout is safe and cheap, and all methods are pure
 // functions, so a Readout obtained once keeps answering consistently
 // even while the engine processes further packets.
+//
+//repro:immutable
 type Readout struct {
 	// P and K define the uncorrected clock C(T) = P·T + K (seconds on
 	// the server timescale at counter value T).
@@ -60,11 +62,15 @@ type Readout struct {
 }
 
 // ClockAt evaluates the uncorrected clock C(T) = P·T + K.
+//
+//repro:readpath
 func (r *Readout) ClockAt(T uint64) float64 { return float64(T)*r.P + r.K }
 
 // ThetaAt extrapolates the offset estimate to counter value T, using
 // the local rate linear prediction when it is valid (equation 23).
 // This mirrors Sync.ThetaAt exactly.
+//
+//repro:readpath
 func (r *Readout) ThetaAt(T uint64) float64 {
 	if !r.HaveTheta {
 		return 0
@@ -78,12 +84,16 @@ func (r *Readout) ThetaAt(T uint64) float64 {
 
 // AbsoluteTime reads the absolute (offset-corrected) clock
 // Ca(T) = C(T) − θ̂(T) at counter value T (equation 7).
+//
+//repro:readpath
 func (r *Readout) AbsoluteTime(T uint64) float64 {
 	return r.ClockAt(T) - r.ThetaAt(T)
 }
 
 // DifferenceSpan measures the interval between two counter readings
 // with the difference clock Cd (equation 6): smooth, driven only by P.
+//
+//repro:readpath
 func (r *Readout) DifferenceSpan(T1, T2 uint64) float64 {
 	return spanSeconds(T1, T2, r.P)
 }
@@ -92,6 +102,8 @@ func (r *Readout) DifferenceSpan(T1, T2 uint64) float64 {
 // exchange this readout was published from — the staleness bound a
 // consumer should weigh a reading by. Before the first exchange it
 // measures from the counter origin.
+//
+//repro:readpath
 func (r *Readout) Age(T uint64) float64 { return spanSeconds(r.LastTf, T, r.P) }
 
 // readout builds the current read snapshot from the engine state.
@@ -130,6 +142,8 @@ func (s *Sync) publish() {
 // with Process: the returned value is immutable. It is never nil — a
 // pre-first-packet readout (nominal rate, no offset) is published at
 // construction.
+//
+//repro:readpath
 func (s *Sync) Readout() *Readout { return s.pub.Load() }
 
 // pubSlabSize is how many publication slots one slab allocation hands
@@ -152,11 +166,16 @@ type pubState struct {
 }
 
 // Load returns the latest published snapshot.
+//
+//repro:readpath
 func (ps *pubState) Load() *Readout { return ps.p.Load() }
 
 // Store copies r into a fresh never-reused slot and publishes it.
+//
+//repro:builder
 func (ps *pubState) Store(r Readout) {
 	if len(ps.slab) == 0 {
+		//repro:alloc-ok amortized slab refill: one allocation per pubSlabSize publishes, the documented publication cost (PERF.md)
 		ps.slab = make([]Readout, pubSlabSize)
 	}
 	slot := &ps.slab[0]

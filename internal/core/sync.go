@@ -246,11 +246,15 @@ func maxInt(a, b int) int {
 
 // Process ingests one completed exchange and returns the updated state.
 // Exchanges must be fed in arrival order.
+//
+//repro:hotpath
 func (s *Sync) Process(in Input) (Result, error) {
 	if in.Tf <= in.Ta {
+		//repro:alloc-ok rejected-input error path: allocates only for exchanges the engine refuses to process
 		return Result{}, fmt.Errorf("core: counter stamps not increasing (Ta=%d, Tf=%d)", in.Ta, in.Tf)
 	}
 	if s.hist.Len() > 0 && in.Tf <= s.hist.Back().tf {
+		//repro:alloc-ok rejected-input error path: allocates only for exchanges the engine refuses to process
 		return Result{}, fmt.Errorf("core: exchange out of order (Tf=%d after %d)", in.Tf, s.hist.Back().tf)
 	}
 

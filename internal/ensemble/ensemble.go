@@ -55,6 +55,8 @@
 // server count — single digits — so the sweep is tens of nanoseconds);
 // the combination itself is evaluated at read time over the per-server
 // estimates with zero allocations (see BenchmarkEnsemble).
+//
+//repro:deterministic
 package ensemble
 
 import (
@@ -399,8 +401,11 @@ func (e *Ensemble) Engine(k int) *core.Sync { return e.engines[k] }
 // engine, updates the server's trust state, and runs one selection
 // sweep at the exchange's receive stamp. Exchanges must arrive in
 // order per server; cross-server ordering is unconstrained.
+//
+//repro:hotpath
 func (e *Ensemble) Process(server int, in core.Input) (core.Result, error) {
 	if server < 0 || server >= len(e.engines) {
+		//repro:alloc-ok rejected-input error path: allocates only for out-of-range server indices
 		return core.Result{}, fmt.Errorf("ensemble: server %d out of range [0,%d)", server, len(e.engines))
 	}
 	res, err := e.engines[server].Process(in)
@@ -619,6 +624,7 @@ func (e *Ensemble) sweepRegion(nReady int, selectedOnly bool) (lo, hi float64, o
 		e.widths = e.widths[:0]
 		for k := range e.members {
 			if e.members[k].ready {
+				//repro:alloc-ok append into receiver-held scratch resliced from [:0]; capacity reaches the member count after the first sweep and never grows again
 				e.widths = append(e.widths, e.hi[k]-e.lo[k])
 			}
 		}
@@ -637,8 +643,10 @@ func (e *Ensemble) sweepRegion(nReady int, selectedOnly bool) (lo, hi float64, o
 		if e.hi[k]-e.lo[k] > widthCap {
 			continue
 		}
+		//repro:alloc-ok append into receiver-held scratch resliced from [:0]; capacity reaches 2x the member count after the first sweep and never grows again
 		e.eps = append(e.eps, endpoint{x: e.lo[k], d: 1}, endpoint{x: e.hi[k], d: -1})
 	}
+	//repro:alloc-ok slices.SortFunc does not retain the comparison closure, so it stays on the stack (generic, no interface boxing)
 	slices.SortFunc(e.eps, func(a, b endpoint) int {
 		switch {
 		case a.x < b.x:
@@ -946,6 +954,7 @@ func weightedMedianBuf(vals, ws []float64, buf []wv) float64 {
 // identical inputs. items must be non-empty with positive weights
 // summing to total; it is sorted in place.
 func medianOfItems(items []wv, total float64) float64 {
+	//repro:alloc-ok slices.SortFunc does not retain the comparison closure, so it stays on the stack (generic, no interface boxing)
 	slices.SortFunc(items, func(a, b wv) int {
 		switch {
 		case a.v < b.v:

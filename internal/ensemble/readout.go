@@ -19,6 +19,8 @@ import (
 // ServerReadout is one server's slice of a combined readout: its
 // engine's published clock snapshot plus the ensemble-level trust and
 // selection view of it.
+//
+//repro:immutable
 type ServerReadout struct {
 	// Clock is the server engine's own published readout (affine
 	// clock, offset anchor, quality, identity) — shared by pointer,
@@ -63,6 +65,8 @@ type ServerReadout struct {
 // and after every identity-change penalty; a Readout obtained once
 // keeps answering consistently while the ensemble processes further
 // exchanges. All methods are pure functions of the snapshot.
+//
+//repro:immutable
 type Readout struct {
 	// Servers holds one entry per configured server, in server order.
 	Servers []ServerReadout
@@ -112,6 +116,8 @@ type Readout struct {
 // when no exchange arrives to move the writer-side state at all. Past
 // UnsyncedAfter the frozen drift bound itself is stale and the clock
 // reports UNSYNCED.
+//
+//repro:readpath
 func (r *Readout) State(T uint64) State {
 	if r.BaseState == StateUnsynced {
 		return StateUnsynced
@@ -134,6 +140,9 @@ const readScratch = 16
 // AbsoluteTime reads the combined absolute clock at a counter value:
 // the weighted median of the positive-weight servers' absolute clocks,
 // exactly as the writer-side Ensemble.AbsoluteTime computes it.
+//
+//repro:readpath
+//repro:hotpath
 func (r *Readout) AbsoluteTime(T uint64) float64 {
 	var buf [readScratch]wv
 	items, total := buf[:0], 0.0
@@ -141,6 +150,7 @@ func (r *Readout) AbsoluteTime(T uint64) float64 {
 		if w := r.Servers[k].raw; w > 0 {
 			// AsymCorrection is identically zero while the feature is
 			// off, so this stays bit-identical to the uncorrected read.
+			//repro:alloc-ok append into the readScratch stack buffer; spills to the heap only past readScratch servers (documented above)
 			items = append(items, wv{r.Servers[k].Clock.AbsoluteTime(T) - r.Servers[k].AsymCorrection, w})
 			total += w
 		}
@@ -155,10 +165,14 @@ func (r *Readout) AbsoluteTime(T uint64) float64 {
 }
 
 // RateHat returns the combined rate estimate (seconds per cycle).
+//
+//repro:readpath
 func (r *Readout) RateHat() float64 { return r.Rate }
 
 // DifferenceSpan measures the interval between two counter readings
 // with the combined difference clock (combined rate only).
+//
+//repro:readpath
 func (r *Readout) DifferenceSpan(T1, T2 uint64) float64 {
 	if T2 >= T1 {
 		return float64(T2-T1) * r.Rate
@@ -170,6 +184,9 @@ func (r *Readout) DifferenceSpan(T1, T2 uint64) float64 {
 // AgreementBound) contains the combined absolute time at counter value
 // T, mirroring Snapshot.Agreement: the normalized weights drive the
 // median here, as TakeSnapshot's does.
+//
+//repro:readpath
+//repro:hotpath
 func (r *Readout) Agreement(T uint64) int {
 	var buf [readScratch]wv
 	items, total := buf[:0], 0.0
@@ -177,8 +194,10 @@ func (r *Readout) Agreement(T uint64) int {
 	vs := vals[:0]
 	for k := range r.Servers {
 		v := r.Servers[k].Clock.AbsoluteTime(T) - r.Servers[k].AsymCorrection
+		//repro:alloc-ok append into the readScratch stack buffer; spills to the heap only past readScratch servers
 		vs = append(vs, v)
 		if w := r.Servers[k].Weight; w > 0 {
+			//repro:alloc-ok append into the readScratch stack buffer; spills to the heap only past readScratch servers
 			items = append(items, wv{v, w})
 			total += w
 		}
@@ -208,6 +227,8 @@ func (r *Readout) Agreement(T uint64) int {
 
 // Weights returns the normalized per-server combining weights as a
 // fresh slice.
+//
+//repro:readpath
 func (r *Readout) Weights() []float64 {
 	ws := make([]float64, len(r.Servers))
 	for k := range r.Servers {
@@ -220,6 +241,8 @@ func (r *Readout) Weights() []float64 {
 // since the exchange this readout was published from — the staleness
 // bound of the combine. Before any exchange it measures from the
 // counter origin.
+//
+//repro:readpath
 func (r *Readout) Age(T uint64) float64 {
 	return r.DifferenceSpan(r.LastTf, T)
 }
@@ -228,6 +251,8 @@ func (r *Readout) Age(T uint64) float64 {
 // one server past warmup holds positive combining weight and an offset
 // estimate. Downstream NTP serving advertises unsynchronized until
 // this holds.
+//
+//repro:readpath
 func (r *Readout) Synced() bool {
 	for k := range r.Servers {
 		s := &r.Servers[k]
@@ -241,6 +266,8 @@ func (r *Readout) Synced() bool {
 // ServerStates derives the per-server diagnostic view from the
 // snapshot, field-for-field what the writer-side Ensemble.ServerStates
 // reports. The returned slice is freshly allocated.
+//
+//repro:readpath
 func (r *Readout) ServerStates() []ServerState {
 	out := make([]ServerState, len(r.Servers))
 	for k := range r.Servers {
@@ -266,6 +293,8 @@ func (r *Readout) ServerStates() []ServerState {
 // publish makes the current combine visible to lock-free readers.
 // Called after every Process (post-selection) and after identity
 // penalties; also once at construction so Readout is never nil.
+//
+//repro:builder
 func (e *Ensemble) publish() {
 	raw := e.rawWeights()
 	total := 0.0
@@ -317,6 +346,7 @@ func (e *Ensemble) publish() {
 	items, wTotal := buf[:0], 0.0
 	for k := range ro.Servers {
 		if w := ro.Servers[k].raw; w > 0 {
+			//repro:alloc-ok append into the readScratch stack buffer; spills to the heap only past readScratch servers
 			items = append(items, wv{ro.Servers[k].Clock.P, w})
 			wTotal += w
 		}
@@ -342,6 +372,8 @@ func (e *Ensemble) publish() {
 // Readout returns the most recently published combined snapshot. It is
 // safe to call from any goroutine at any time, including concurrently
 // with the writer: the returned value is immutable and never nil.
+//
+//repro:readpath
 func (e *Ensemble) Readout() *Readout { return e.pub.Load() }
 
 // pubSlabSize is how many publication slots one slab allocation hands
@@ -363,18 +395,24 @@ type ensemblePub struct {
 }
 
 // Load returns the latest published snapshot.
+//
+//repro:readpath
 func (ep *ensemblePub) Load() *Readout { return ep.p.Load() }
 
 // nextSlot returns a zeroed, never-reused Readout with a Servers slice
 // of length nSrv, carved from the slabs. The caller fills it and then
 // publishes it with store.
+//
+//repro:builder
 func (ep *ensemblePub) nextSlot(nSrv int) *Readout {
 	if len(ep.roSlab) == 0 {
+		//repro:alloc-ok amortized slab refill: one allocation per pubSlabSize combines (PERF.md)
 		ep.roSlab = make([]Readout, pubSlabSize)
 	}
 	ro := &ep.roSlab[0]
 	ep.roSlab = ep.roSlab[1:]
 	if len(ep.srvSlab) < nSrv {
+		//repro:alloc-ok amortized slab refill: one allocation per pubSlabSize combines (PERF.md)
 		ep.srvSlab = make([]ServerReadout, pubSlabSize*nSrv)
 	}
 	// Full-capacity reslice so appends by a confused caller could never

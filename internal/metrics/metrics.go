@@ -39,9 +39,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//repro:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//repro:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -54,9 +58,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//repro:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the value by d.
+//
+//repro:hotpath
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()

@@ -17,6 +17,8 @@
 // modes and rare >1 ms scheduling errors), and stratum-1 server
 // timestamping errors including the rare ~1 ms Te outliers and injectable
 // server clock faults (the 150 ms error event of Figure 11b).
+//
+//repro:deterministic
 package netem
 
 import (

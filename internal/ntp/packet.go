@@ -195,6 +195,7 @@ func (p *Packet) Marshal() [PacketSize]byte {
 // first 48 bytes are ignored, as the algorithms do not use them.
 func (p *Packet) Unmarshal(b []byte) error {
 	if len(b) < PacketSize {
+		//repro:alloc-ok rejected-input error path: allocates only for packets the server refuses to answer
 		return fmt.Errorf("ntp: short packet: %d bytes", len(b))
 	}
 	p.Leap = LeapIndicator(b[0] >> 6)
@@ -211,6 +212,7 @@ func (p *Packet) Unmarshal(b []byte) error {
 	p.Receive = Time64(binary.BigEndian.Uint64(b[32:]))
 	p.Transmit = Time64(binary.BigEndian.Uint64(b[40:]))
 	if p.Version < 1 || p.Version > 4 {
+		//repro:alloc-ok rejected-input error path: allocates only for packets the server refuses to answer
 		return fmt.Errorf("ntp: unsupported version %d", p.Version)
 	}
 	return nil

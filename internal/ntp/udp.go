@@ -282,12 +282,15 @@ func (s *Server) Stats() Stats {
 // dropped and counted, and a request with a version above 4 is served
 // with the reply version clamped to 4 (RFC 5905 §7.3 behaviour: answer
 // with the highest version the server speaks) instead of dropped.
+//
+//repro:hotpath
 func (s *Server) Serve(pc net.PacketConn) error {
 	var buf [512]byte
 	for {
 		n, addr, err := pc.ReadFrom(buf[:])
 		if err != nil {
 			var nerr net.Error
+			//repro:alloc-ok read-error path: errors.As boxes its target only when ReadFrom fails, never per served packet
 			if errors.As(err, &nerr) && nerr.Timeout() {
 				continue
 			}

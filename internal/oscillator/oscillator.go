@@ -13,6 +13,8 @@
 // true time) in closed form plus a cached piecewise integral for the
 // random-walk term, so that multi-month traces can be generated without
 // accumulating numerical drift.
+//
+//repro:deterministic
 package oscillator
 
 import (

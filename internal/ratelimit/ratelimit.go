@@ -40,6 +40,12 @@ type Config struct {
 	// IdleTTL is how long a prefix's bucket survives without traffic
 	// before it is evictable. Default: 60s.
 	IdleTTL time.Duration
+	// Now, when non-nil, replaces the limiter's time source: a
+	// monotonic clock in nanoseconds, read once per Allow. The default
+	// reads the runtime's monotonic clock. Injecting a virtual clock
+	// makes refill behaviour fully deterministic in tests and lets the
+	// simulator drive a limiter on simulated time.
+	Now func() int64
 }
 
 func (c *Config) setDefaults() {
@@ -82,8 +88,8 @@ type Limiter struct {
 	maxShard  int // per-table-shard entry bound
 	shards    [tableShards]tableShard
 
-	// now is the time source in monotonic nanoseconds; replaceable in
-	// tests for deterministic refill.
+	// now is the time source in monotonic nanoseconds; Config.Now or
+	// the runtime monotonic clock.
 	now func() int64
 
 	denied    atomic.Uint64
@@ -93,12 +99,16 @@ type Limiter struct {
 // New constructs a limiter; zero config fields take defaults.
 func New(cfg Config) *Limiter {
 	cfg.setDefaults()
-	start := time.Now()
+	now := cfg.Now
+	if now == nil {
+		start := time.Now()
+		now = func() int64 { return int64(time.Since(start)) }
+	}
 	l := &Limiter{
 		cfg:       cfg,
 		ratePerNs: cfg.Rate / 1e9,
 		maxShard:  (cfg.MaxEntries + tableShards - 1) / tableShards,
-		now:       func() int64 { return int64(time.Since(start)) },
+		now:       now,
 	}
 	for i := range l.shards {
 		l.shards[i].m = make(map[uint64]bucket)
@@ -118,6 +128,8 @@ const (
 // space) or the top v6PrefixBits of an IPv6 address. ok is false for
 // addresses with no usable IP (the caller should fail open: a packet
 // whose source the stack could not type is not evidence of abuse).
+//
+//repro:hotpath
 func PrefixKey(ip net.IP) (key uint64, ok bool) {
 	if v4 := ip.To4(); v4 != nil {
 		return 1<<63 | uint64(v4[0])<<16 | uint64(v4[1])<<8 | uint64(v4[2]), true
@@ -131,6 +143,8 @@ func PrefixKey(ip net.IP) (key uint64, ok bool) {
 
 // AllowAddr applies Allow to a packet source as the serve loop sees it
 // (fail open on non-UDP or unparseable sources).
+//
+//repro:hotpath
 func (l *Limiter) AllowAddr(addr net.Addr) bool {
 	ua, ok := addr.(*net.UDPAddr)
 	if !ok {
@@ -147,6 +161,8 @@ func (l *Limiter) AllowAddr(addr net.Addr) bool {
 // request is within budget. New prefixes start at Burst capacity; when
 // the table is full and idle-sweeping frees nothing, new prefixes are
 // admitted untracked.
+//
+//repro:hotpath
 func (l *Limiter) Allow(key uint64) bool {
 	// Fibonacci mixing spreads sequential prefixes across table shards.
 	sh := &l.shards[(key*0x9e3779b97f4a7c15)>>59&(tableShards-1)]

@@ -6,12 +6,12 @@ import (
 	"time"
 )
 
-// testLimiter builds a limiter on a manually advanced clock.
+// testLimiter builds a limiter on a manually advanced virtual clock,
+// injected through the public Config.Now hook.
 func testLimiter(cfg Config) (*Limiter, *int64) {
-	l := New(cfg)
 	now := new(int64)
-	l.now = func() int64 { return *now }
-	return l, now
+	cfg.Now = func() int64 { return *now }
+	return New(cfg), now
 }
 
 func TestBurstHonored(t *testing.T) {

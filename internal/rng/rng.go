@@ -5,6 +5,8 @@
 // math/rand's unspecified-across-versions sources, together with the
 // distributions needed by the oscillator and network models: uniform,
 // normal, exponential, Pareto, Weibull and log-normal.
+//
+//repro:deterministic
 package rng
 
 import "math"

@@ -15,6 +15,8 @@
 // ServerInt, ServerExt) and the two temperature environments (laboratory,
 // machine room) are provided as presets, so every experiment names its
 // setup the way the paper does (e.g. "MR-Int").
+//
+//repro:deterministic
 package sim
 
 import (

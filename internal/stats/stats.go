@@ -17,6 +17,8 @@
 // Inputs are plain []float64; functions panic on empty input or
 // out-of-range parameters — callers own validation, these are
 // evaluation-path helpers, not a public API.
+//
+//repro:deterministic
 package stats
 
 import (

@@ -15,6 +15,8 @@
 // bounded slew rate, and the step threshold. It consumes the same raw
 // exchanges as the core engine so experiments can run both side by side
 // on identical traces.
+//
+//repro:deterministic
 package swntp
 
 import (

@@ -39,6 +39,8 @@ type minEntry struct {
 
 // Push adds sample (seq, val). seq must exceed every previously pushed
 // sequence number.
+//
+//repro:hotpath
 func (m *MinTracker) Push(seq int, val float64) {
 	if m.dq.Len() > 0 && seq <= m.max {
 		panic("window: MinTracker samples must have increasing seq")
@@ -62,6 +64,8 @@ func (m *MinTracker) Push(seq int, val float64) {
 // EvictBefore discards every sample with sequence number < seq,
 // advancing the window's trailing edge. Amortized O(1): each entry is
 // evicted at most once over its lifetime.
+//
+//repro:hotpath
 func (m *MinTracker) EvictBefore(seq int) {
 	for m.dq.Len() > 0 && m.dq.Front().seq < seq {
 		m.dq.PopFront()
@@ -70,6 +74,8 @@ func (m *MinTracker) EvictBefore(seq int) {
 
 // Min returns the minimum value among retained samples. ok is false
 // when the tracker is empty.
+//
+//repro:hotpath
 func (m *MinTracker) Min() (val float64, ok bool) {
 	if m.dq.Len() == 0 {
 		return 0, false
@@ -91,6 +97,8 @@ func (m *MinTracker) Min() (val float64, ok bool) {
 // entry at or after seq; entry values increase front to back — or are
 // non-decreasing under KeepOldestTies, which preserves the suffix-min
 // property just the same).
+//
+//repro:hotpath
 func (m *MinTracker) SuffixMin(seq int) (val float64, ok bool) {
 	n := m.dq.Len()
 	lo, hi := 0, n // invariant: entries before lo have seq < target
@@ -111,6 +119,8 @@ func (m *MinTracker) SuffixMin(seq int) (val float64, ok bool) {
 // MinSeq returns the sequence number of the sample that attains the
 // current minimum. Ties resolve by the tracker's tie policy: the newest
 // such sample by default, the oldest under KeepOldestTies.
+//
+//repro:hotpath
 func (m *MinTracker) MinSeq() (seq int, ok bool) {
 	if m.dq.Len() == 0 {
 		return 0, false
@@ -120,6 +130,8 @@ func (m *MinTracker) MinSeq() (seq int, ok bool) {
 
 // Len returns the number of deque entries (candidate minima), not the
 // number of live samples.
+//
+//repro:hotpath
 func (m *MinTracker) Len() int { return m.dq.Len() }
 
 // Reset discards all state.

@@ -10,6 +10,8 @@
 // head (no copy, stable backing array once grown), and the minimum
 // tracker answers sliding-window minima by maintaining the classic
 // monotonic deque of candidate minima.
+//
+//repro:deterministic
 package window
 
 // Ring is a growable power-of-two ring buffer (double-ended queue).
@@ -46,14 +48,20 @@ func ceilPow2(v int) int {
 }
 
 // Len returns the number of elements held.
+//
+//repro:hotpath
 func (r *Ring[T]) Len() int { return r.n }
 
 // Cap returns the current capacity of the backing array.
+//
+//repro:hotpath
 func (r *Ring[T]) Cap() int { return len(r.buf) }
 
 // At returns a pointer to the element at logical position i (0 is the
 // oldest). The pointer stays valid until the ring grows or the slot is
 // popped and overwritten by a later push.
+//
+//repro:hotpath
 func (r *Ring[T]) At(i int) *T {
 	if i < 0 || i >= r.n {
 		panic("window: ring index out of range")
@@ -62,12 +70,18 @@ func (r *Ring[T]) At(i int) *T {
 }
 
 // Front returns a pointer to the oldest element.
+//
+//repro:hotpath
 func (r *Ring[T]) Front() *T { return r.At(0) }
 
 // Back returns a pointer to the newest element.
+//
+//repro:hotpath
 func (r *Ring[T]) Back() *T { return r.At(r.n - 1) }
 
 // PushBack appends v as the newest element, growing if full.
+//
+//repro:hotpath
 func (r *Ring[T]) PushBack(v T) {
 	*r.PushSlot() = v
 }
@@ -76,6 +90,8 @@ func (r *Ring[T]) PushBack(v T) {
 // to it, letting callers construct large elements in place instead of
 // copying them through a call argument. The pointer obeys the same
 // validity rules as At.
+//
+//repro:hotpath
 func (r *Ring[T]) PushSlot() *T {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -86,6 +102,8 @@ func (r *Ring[T]) PushSlot() *T {
 }
 
 // PopFront removes and returns the oldest element.
+//
+//repro:hotpath
 func (r *Ring[T]) PopFront() T {
 	if r.n == 0 {
 		panic("window: PopFront on empty ring")
@@ -99,6 +117,8 @@ func (r *Ring[T]) PopFront() T {
 }
 
 // PopBack removes and returns the newest element.
+//
+//repro:hotpath
 func (r *Ring[T]) PopBack() T {
 	if r.n == 0 {
 		panic("window: PopBack on empty ring")
@@ -114,6 +134,8 @@ func (r *Ring[T]) PopBack() T {
 // DropFront discards the k oldest elements in O(k) slot clears but with
 // no copying or reallocation: the window slide of the engine. k larger
 // than Len empties the ring; negative k panics.
+//
+//repro:hotpath
 func (r *Ring[T]) DropFront(k int) {
 	if k < 0 {
 		panic("window: DropFront with negative count")
@@ -136,6 +158,8 @@ func (r *Ring[T]) DropFront(k int) {
 // sub-slices of the backing array (the range may wrap around the
 // physical end). Iterating the returned slices directly lets hot loops
 // avoid the per-element index masking of At.
+//
+//repro:hotpath
 func (r *Ring[T]) Slices(i, j int) (first, second []T) {
 	if i < 0 || j > r.n || i > j {
 		panic("window: ring slice range out of bounds")
@@ -158,6 +182,7 @@ func (r *Ring[T]) grow() {
 	if len(r.buf) > 0 {
 		newCap = 2 * len(r.buf)
 	}
+	//repro:alloc-ok amortized doubling: one allocation per capacity doubling, and the engine pre-sizes rings so steady state never grows
 	nb := make([]T, newCap)
 	a, b := r.slicesAll()
 	copy(nb, a)

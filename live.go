@@ -135,6 +135,8 @@ func (l *Live) RunAdaptive(ctx context.Context, p *Poller, onStep func(Status, e
 
 // Now reads the absolute clock as a wall-clock time, resolving the NTP
 // era with the system clock as pivot. Lock-free, like all clock reads.
+//
+//repro:readpath
 func (l *Live) Now() time.Time {
 	sec := l.clock.AbsoluteTime(l.counter())
 	return ntp.Time64FromSeconds(sec).Time(time.Now())
@@ -151,6 +153,8 @@ func (l *Live) Now() time.Time {
 // server's stratum + 1, the minimum path RTT as root delay, and a
 // dispersion grown from the readout's staleness at the standard
 // 15 PPM rate.
+//
+//repro:readpath
 func (l *Live) ServerSample(refID uint32) ntp.SampleClock {
 	precision := ntp.PrecisionFromPeriod(l.period)
 	return func() ntp.ClockSample {

@@ -362,6 +362,8 @@ func (m *MultiLive) Run(ctx context.Context, onStep func(server int, st Ensemble
 // Now reads the combined absolute clock as a wall-clock time, resolving
 // the NTP era with the system clock as pivot. Lock-free, like all
 // ensemble reads.
+//
+//repro:readpath
 func (m *MultiLive) Now() time.Time {
 	sec := m.ens.AbsoluteTime(m.counter())
 	return ntp.Time64FromSeconds(sec).Time(time.Now())
@@ -386,6 +388,8 @@ func (m *MultiLive) Now() time.Time {
 //     growing at the frozen p̂ drift bound if that exceeds 15 PPM — a
 //     relay that lost its upstreams advertises an honestly growing
 //     error bound instead of a stale confident one.
+//
+//repro:readpath
 func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
 	precision := ntp.PrecisionFromPeriod(m.period)
 	return func() ntp.ClockSample {
@@ -422,6 +426,8 @@ func (m *MultiLive) ServerSample(refID uint32) ntp.SampleClock {
 // predicate behind the relay's /readyz endpoint — a relay in HOLDOVER
 // or UNSYNCED keeps answering NTP with honest dispersion/leap bits, but
 // a load balancer should prefer replicas that still hold a live vote.
+//
+//repro:readpath
 func (m *MultiLive) Ready() bool {
 	return m.ens.State(m.counter()) >= ensemble.StateDegraded
 }

@@ -238,6 +238,8 @@ func statusFromResult(res core.Result, serverChanged bool) Status {
 // value answering every clock read consistently, with a staleness
 // bound (Readout.Age). Hold it to take several reads from one instant
 // of calibration; call again to refresh. Never nil, never blocks.
+//
+//repro:readpath
 func (c *Clock) Readout() *core.Readout { return c.sync.Readout() }
 
 // AbsoluteTime reads the absolute clock Ca at a counter value: seconds
@@ -245,6 +247,8 @@ func (c *Clock) Readout() *core.Readout { return c.sync.Readout() }
 // the live path). Use it only when absolute timestamps are required;
 // the difference clock is more accurate for intervals (Section 2.2).
 // Lock-free: a pure function of the latest published readout.
+//
+//repro:readpath
 func (c *Clock) AbsoluteTime(counter uint64) float64 {
 	return c.sync.Readout().AbsoluteTime(counter)
 }
@@ -253,18 +257,24 @@ func (c *Clock) AbsoluteTime(counter uint64) float64 {
 // difference clock Cd: smooth, driven only by the rate estimate, and
 // the right tool for intervals below the SKM scale (~1000 s).
 // Lock-free.
+//
+//repro:readpath
 func (c *Clock) Between(c1, c2 uint64) float64 {
 	return c.sync.Readout().DifferenceSpan(c1, c2)
 }
 
 // Period returns the current rate estimate (seconds per cycle).
 // Lock-free.
+//
+//repro:readpath
 func (c *Clock) Period() float64 {
 	return c.sync.Readout().P
 }
 
 // Offset returns the current offset estimate θ̂ and whether one exists.
 // Lock-free.
+//
+//repro:readpath
 func (c *Clock) Offset() (float64, bool) {
 	r := c.sync.Readout()
 	return r.Theta, r.HaveTheta
@@ -272,11 +282,15 @@ func (c *Clock) Offset() (float64, bool) {
 
 // MinRTT returns the current minimum round-trip-time estimate r̂.
 // Lock-free.
+//
+//repro:readpath
 func (c *Clock) MinRTT() float64 {
 	return c.sync.Readout().RTTHat
 }
 
 // Exchanges returns the number of exchanges processed. Lock-free.
+//
+//repro:readpath
 func (c *Clock) Exchanges() int {
 	return c.sync.Readout().Count
 }
