@@ -64,6 +64,7 @@ func main() {
 		stats    = flag.Duration("stats", time.Minute, "period of the serving-counter log lines (0 disables)")
 		httpAddr = flag.String("http", "", "TCP address for the /metrics, /healthz and /readyz observability endpoints (empty disables)")
 		limit    = flag.Float64("limit", 0, "per-client-prefix (/24, /48) request budget in req/s, burst 2x (0 disables)")
+		batch    = flag.Int("batch", 0, "serving syscall batch size on Linux (0 = default 32, 1 = per-packet loop)")
 	)
 	flag.Parse()
 
@@ -104,7 +105,7 @@ func main() {
 			_ = ml.Run(ctx, nil)
 		}()
 		sample = ml.ServerSample(ntp.RefIDFromString(*refid))
-		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample, Limit: lim})
+		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample, Limit: lim, Batch: *batch})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,6 +117,7 @@ func main() {
 			Clock: ntp.SystemServerClock(),
 			RefID: ntp.RefIDFromString(*refid),
 			Limit: lim,
+			Batch: *batch,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -196,6 +198,12 @@ func statsLine(srv *ntp.Server, sh *ntp.Shards, ml *tscclock.MultiLive, sample n
 	st := srv.Stats()
 	line := fmt.Sprintf("served %d/%d requests (dropped %d: %d short, %d malformed, %d non-client; %d rate-limited; %d write errors)",
 		st.Replied, st.Requests, st.Dropped(), st.Short, st.Malformed, st.NonClient, st.RateLimited, st.WriteErrors)
+	if st.Replied > 0 {
+		line += fmt.Sprintf("; %.3g syscalls/reply", float64(st.RecvCalls+st.SendCalls)/float64(st.Replied))
+	}
+	if st.KernelRx+st.KernelRxMissing > 0 {
+		line += fmt.Sprintf("; kernel rx stamps %d/%d", st.KernelRx, st.KernelRx+st.KernelRxMissing)
+	}
 	var restarts uint64
 	var lastErr error
 	for _, s := range sh.Stats() {

@@ -46,6 +46,40 @@ func BenchmarkEnsemble(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/packet")
 		})
 	}
+	// The batched variant deals the same workload in poll rounds — one
+	// exchange per server per ProcessBatch — so the selection sweep,
+	// ladder and publication run once per round instead of once per
+	// packet, and the engines' state is walked while cache-hot. The gap
+	// to the per-packet variant is the amortizable combine cost.
+	for _, servers := range []int{3, 8} {
+		b.Run(fmt.Sprintf("batched/servers=%d", servers), func(b *testing.B) {
+			cfgs := make([]core.Config, servers)
+			for i := range cfgs {
+				cfgs[i] = core.DefaultConfig(2e-9, 16)
+			}
+			round := make([]BatchExchange, servers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				e, err := New(Config{Engines: cfgs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j+servers <= len(ins); j += servers {
+					for k := 0; k < servers; k++ {
+						round[k] = BatchExchange{Server: k, In: ins[j+k]}
+					}
+					if err := e.ProcessBatch(round); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sink += e.AbsoluteTime(ins[n-1].Tf + 1000)
+			}
+			_ = sink
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/packet")
+		})
+	}
 }
 
 // BenchmarkEnsembleSelect isolates the per-packet selection sweep: the

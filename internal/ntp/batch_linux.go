@@ -1,0 +1,433 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched serving hot loop: recvmmsg/sendmmsg syscall batching plus
+// SO_TIMESTAMPING kernel RX stamps.
+//
+// The per-packet loop pays two syscalls per reply and stamps Receive
+// from a user-space clock read, so every reply carries the scheduler's
+// wakeup latency as apparent network delay. This loop drains up to
+// Batch datagrams per recvmmsg into preallocated slabs, runs the same
+// per-packet pipeline (limit → validate → stamp → marshal) over the
+// batch in place, and answers with one sendmmsg — ~2/Batch syscalls
+// per reply — while parsing each datagram's SCM_TIMESTAMPING control
+// message so the reply's Receive stamp can be backdated to the
+// kernel's arrival time. Every buffer the kernel writes into (packet
+// slab, sockaddr slab, control slab, iovec and mmsghdr arrays) is
+// allocated once per shard at setup; the steady state allocates
+// nothing (//repro:hotpath on process, gated by reprolint and
+// TestBatchProcessZeroAlloc).
+//
+// The loop integrates with the Go netpoller through syscall.RawConn:
+// recvmmsg runs with MSG_DONTWAIT inside RawConn.Read, returning false
+// on EAGAIN so the goroutine parks until the socket is readable
+// instead of spinning. A closed socket surfaces as net.ErrClosed from
+// RawConn.Read/Write, which is the same shutdown signal the per-packet
+// loop and the shard supervisor already speak.
+//
+// The syscall package is used directly (this repository deliberately
+// avoids x/sys/unix); SO_TIMESTAMPING and the sendmmsg syscall number
+// (frozen out of package syscall before kernel 3.0) are defined
+// locally for the two supported architectures.
+
+package ntp
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"os"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"repro/internal/ratelimit"
+)
+
+const (
+	// batchDefault and batchMax bound ServerConfig.Batch: 32 packets
+	// per syscall already cuts the syscall budget 16×; past 64 the
+	// slab footprint grows faster than the amortization shrinks.
+	batchDefault = 32
+	batchMax     = 64
+
+	// rxBufSize matches the per-packet loop's read buffer: large
+	// enough for any NTP packet with extensions, truncation beyond it
+	// is harmless (only the first 48 bytes are parsed).
+	rxBufSize = 512
+
+	// oobSize holds one scm_timestamping control message (16-byte
+	// cmsghdr + three timespecs = 64 bytes) with room for one more
+	// cmsg (e.g. SO_RXQ_OVFL) before truncation.
+	oobSize = 128
+
+	// soTimestamping is SO_TIMESTAMPING from asm-generic/socket.h (37
+	// on amd64 and arm64; the value differs only on parisc and sparc,
+	// which the build tag excludes). The same value is the
+	// SCM_TIMESTAMPING control-message type.
+	soTimestamping  = 37
+	scmTimestamping = 37
+
+	// SOF_TIMESTAMPING flags: generate software RX timestamps and
+	// report them. Hardware stamps are deliberately not requested —
+	// they come from the NIC's PHC, a clock not comparable with
+	// CLOCK_REALTIME, so an age computed against them would be
+	// garbage.
+	sofTimestampingRxSoftware = 1 << 3
+	sofTimestampingSoftware   = 1 << 4
+
+	// maxStampAge bounds how stale a kernel RX stamp may be before it
+	// is distrusted (a clock step between the kernel stamp and our
+	// wall read would otherwise backdate Receive by the step).
+	maxStampAge = time.Second
+)
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>: one msghdr plus
+// the kernel-written datagram length. The trailing pad keeps the
+// 64-bit layout the kernel expects when given an array of these.
+type mmsghdr struct {
+	hdr   syscall.Msghdr
+	nrecv uint32
+	_     [4]byte
+}
+
+// Compile-time layout guards: the kernel ABI expects 64-byte mmsghdr
+// entries (56-byte msghdr + length + pad) on both supported
+// architectures; a negative array length here breaks the build if the
+// struct drifts.
+var (
+	_ [unsafe.Sizeof(mmsghdr{}) - 64]byte
+	_ [64 - unsafe.Sizeof(mmsghdr{})]byte
+)
+
+// serveBatch runs the batched loop when the transport and
+// configuration allow it: a *net.UDPConn (raw fd access) and an
+// effective batch size above 1. handled=false means the caller should
+// fall back to the per-packet loop.
+func (s *Server) serveBatch(pc net.PacketConn) (handled bool, err error) {
+	batch := s.batch
+	if batch == 0 {
+		batch = batchDefault
+	}
+	if batch > batchMax {
+		batch = batchMax
+	}
+	if batch <= 1 {
+		return false, nil
+	}
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		return false, nil
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		// No raw fd access (wrapped or already-closed conn): the
+		// per-packet loop will surface whatever is wrong.
+		return false, nil
+	}
+	bl := newBatchLoop(s, rc, batch)
+	return true, bl.run()
+}
+
+// batchLoop is one shard's batched serving state: the slabs the kernel
+// reads and writes, the mmsghdr arrays wired into them once at setup,
+// and the RawConn callbacks (created once — a closure per batch would
+// be a steady-state allocation).
+type batchLoop struct {
+	srv      *Server
+	rc       syscall.RawConn
+	batch    int
+	stamping bool // SO_TIMESTAMPING armed on the socket
+
+	pktIn  []byte                   // batch × rxBufSize receive slab
+	pktOut []byte                   // batch × PacketSize reply slab
+	names  []syscall.RawSockaddrAny // kernel-written packet sources
+	oob    []byte                   // batch × oobSize control slab
+	riovs  []syscall.Iovec
+	rmsgs  []mmsghdr
+	siovs  []syscall.Iovec
+	smsgs  []mmsghdr
+
+	// Syscall results, carried out of the RawConn callbacks.
+	recvN   int
+	recvErr syscall.Errno
+	sentN   int
+	sendErr syscall.Errno
+	sendOff int // first unsent smsgs entry of the current flush
+	sendCnt int // smsgs entries in the current flush
+
+	readFn  func(fd uintptr) bool
+	writeFn func(fd uintptr) bool
+}
+
+// newBatchLoop allocates and wires the slabs. Receive-side mmsghdrs
+// point at fixed per-slot buffers; send-side mmsghdrs have fixed
+// iovecs into the reply slab (reply k always lands in out slot k) and
+// only their Name/Namelen vary per batch, set during process.
+func newBatchLoop(s *Server, rc syscall.RawConn, batch int) *batchLoop {
+	bl := &batchLoop{
+		srv:    s,
+		rc:     rc,
+		batch:  batch,
+		pktIn:  make([]byte, batch*rxBufSize),
+		pktOut: make([]byte, batch*PacketSize),
+		names:  make([]syscall.RawSockaddrAny, batch),
+		oob:    make([]byte, batch*oobSize),
+		riovs:  make([]syscall.Iovec, batch),
+		rmsgs:  make([]mmsghdr, batch),
+		siovs:  make([]syscall.Iovec, batch),
+		smsgs:  make([]mmsghdr, batch),
+	}
+	for i := 0; i < batch; i++ {
+		bl.riovs[i].Base = &bl.pktIn[i*rxBufSize]
+		bl.riovs[i].Len = rxBufSize
+		bl.rmsgs[i].hdr.Name = (*byte)(unsafe.Pointer(&bl.names[i]))
+		bl.rmsgs[i].hdr.Iov = &bl.riovs[i]
+		bl.rmsgs[i].hdr.Iovlen = 1
+		bl.rmsgs[i].hdr.Control = &bl.oob[i*oobSize]
+
+		bl.siovs[i].Base = &bl.pktOut[i*PacketSize]
+		bl.siovs[i].Len = PacketSize
+		bl.smsgs[i].hdr.Iov = &bl.siovs[i]
+		bl.smsgs[i].hdr.Iovlen = 1
+	}
+	bl.resetHeaders(batch)
+	bl.stamping = enableTimestamping(rc)
+
+	bl.readFn = func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&bl.rmsgs[0])), uintptr(bl.batch),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park on the netpoller until readable
+		}
+		bl.srv.stats.recvCalls.Add(1)
+		if e != 0 {
+			bl.recvN, bl.recvErr = 0, e
+		} else {
+			bl.recvN, bl.recvErr = int(n), 0
+		}
+		return true
+	}
+	bl.writeFn = func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&bl.smsgs[bl.sendOff])), uintptr(bl.sendCnt-bl.sendOff),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park until writable (rare for UDP)
+		}
+		bl.srv.stats.sendCalls.Add(1)
+		if e != 0 {
+			bl.sentN, bl.sendErr = 0, e
+		} else {
+			bl.sentN, bl.sendErr = int(n), 0
+		}
+		return true
+	}
+	return bl
+}
+
+// enableTimestamping arms software RX timestamping on the socket;
+// failure (old kernel, exotic socket) just means every packet counts
+// as KernelRxMissing and Receive stamps fall back to sample time.
+func enableTimestamping(rc syscall.RawConn) bool {
+	var serr error
+	err := rc.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soTimestamping,
+			sofTimestampingRxSoftware|sofTimestampingSoftware)
+	})
+	return err == nil && serr == nil
+}
+
+// run is the shard loop: drain a batch, process it in place, flush the
+// replies, reset the kernel-written header fields, repeat. Error
+// semantics match the per-packet loop: timeouts continue, a closed
+// socket (or genuine socket failure) returns and lets the shard
+// supervisor decide.
+func (bl *batchLoop) run() error {
+	for {
+		if err := bl.rc.Read(bl.readFn); err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+		if bl.recvErr != 0 {
+			if bl.recvErr == syscall.EINTR {
+				continue
+			}
+			return os.NewSyscallError("recvmmsg", bl.recvErr)
+		}
+		n := bl.recvN
+		if n <= 0 {
+			continue
+		}
+		nOut := bl.process(n)
+		if nOut > 0 {
+			if err := bl.flush(nOut); err != nil {
+				return err
+			}
+		}
+		bl.resetHeaders(n)
+	}
+}
+
+// process runs the per-packet pipeline over one received batch and
+// compacts the replies into the send slots, returning how many replies
+// to flush. Reply k's payload is already in out slot k (fixed iovec);
+// only its destination sockaddr is wired here, pointing at the
+// receive-side name slot the kernel filled.
+//
+//repro:hotpath
+func (bl *batchLoop) process(n int) int {
+	s := bl.srv
+	s.stats.requests.Add(uint64(n))
+	// One wall read ages every kernel stamp in the batch: the spread
+	// within a batch is microseconds, far below maxStampAge.
+	now := time.Now()
+	kStamped, kMissing := uint64(0), uint64(0)
+	nOut := 0
+	for i := 0; i < n; i++ {
+		if s.limit != nil {
+			// The batched rate-limit path keys straight off the raw
+			// sockaddr bytes the kernel wrote — no net.Addr boxing, no
+			// net.IP allocation (see Limiter.AllowAddr for the
+			// per-packet loop's boxed equivalent).
+			if key, ok := bl.prefixKey(i); ok && !s.limit.Allow(key) {
+				s.stats.rateLimited.Add(1)
+				continue
+			}
+		}
+		var rxAge time.Duration
+		if sec, nsec, ok := parseRxTimestamp(bl.oob[i*oobSize : i*oobSize+int(bl.rmsgs[i].hdr.Controllen)]); ok {
+			rxAge = now.Sub(time.Unix(sec, nsec))
+			if rxAge >= 0 && rxAge <= maxStampAge {
+				kStamped++
+			} else if rxAge > -time.Millisecond && rxAge < 0 {
+				// Sub-millisecond negative age is wall-clock jitter
+				// between the kernel stamp and our read, not a lie.
+				rxAge = 0
+				kStamped++
+			} else {
+				rxAge = 0 // a clock step; the sample time is safer
+				kMissing++
+			}
+		} else {
+			kMissing++
+		}
+		in := bl.pktIn[i*rxBufSize : i*rxBufSize+int(bl.rmsgs[i].nrecv)]
+		out := (*[PacketSize]byte)(bl.pktOut[nOut*PacketSize:])
+		if !s.handlePacket(in, out, rxAge) {
+			continue
+		}
+		bl.smsgs[nOut].hdr.Name = (*byte)(unsafe.Pointer(&bl.names[i]))
+		bl.smsgs[nOut].hdr.Namelen = bl.rmsgs[i].hdr.Namelen
+		nOut++
+	}
+	s.stats.kernelRx.Add(kStamped)
+	s.stats.kernelRxMissing.Add(kMissing)
+	return nOut
+}
+
+// flush sends the first n compacted replies with as few sendmmsg
+// calls as the kernel allows. Partial sends resume at the first
+// unsent message; a per-message failure (spoofed unroutable source,
+// transient ENOBUFS) is counted and skipped, exactly like the
+// per-packet loop's WriteTo error path. Only a closed socket aborts.
+func (bl *batchLoop) flush(n int) error {
+	bl.sendOff, bl.sendCnt = 0, n
+	for bl.sendOff < bl.sendCnt {
+		if err := bl.rc.Write(bl.writeFn); err != nil {
+			return err
+		}
+		if bl.sendErr != 0 {
+			if bl.sendErr == syscall.EINTR {
+				continue
+			}
+			// sendmmsg failed on the head message without sending
+			// anything: charge that one message and move past it.
+			bl.srv.stats.writeErrors.Add(1)
+			bl.sendOff++
+			continue
+		}
+		bl.srv.stats.replied.Add(uint64(bl.sentN))
+		bl.sendOff += bl.sentN
+	}
+	return nil
+}
+
+// resetHeaders restores the kernel-written in/out header fields of the
+// first n receive slots before the next recvmmsg: the kernel shrinks
+// Namelen/Controllen to the actual lengths and sets Flags, and would
+// otherwise truncate the next batch's sockaddrs and control messages.
+//
+//repro:hotpath
+func (bl *batchLoop) resetHeaders(n int) {
+	for i := 0; i < n; i++ {
+		bl.rmsgs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+		bl.rmsgs[i].hdr.Controllen = oobSize
+		bl.rmsgs[i].hdr.Flags = 0
+	}
+}
+
+// prefixKey derives the rate-limiter key for packet i straight from
+// the raw sockaddr the kernel wrote, mirroring ratelimit.PrefixKey's
+// classification (v4 and v4-mapped addresses share the v4 key space).
+// ok=false (unknown family) fails open, like AllowAddr.
+//
+//repro:hotpath
+func (bl *batchLoop) prefixKey(i int) (uint64, bool) {
+	sa := &bl.names[i]
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		return ratelimit.PrefixKey4(sa4.Addr), true
+	case syscall.AF_INET6:
+		sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		return ratelimit.PrefixKey16(&sa6.Addr), true
+	}
+	return 0, false
+}
+
+// parseRxTimestamp walks a received control-message buffer for the
+// kernel's SCM_TIMESTAMPING message and returns the software receive
+// timestamp (CLOCK_REALTIME seconds/nanoseconds). ok=false when the
+// message is absent, truncated, malformed, or carries an all-zero
+// software slot (hardware-only stamping). The walk is defensive —
+// oob comes from the kernel, but the fuzz target feeds it garbage to
+// guarantee no slice of bytes can panic the hot loop.
+//
+//repro:hotpath
+func parseRxTimestamp(oob []byte) (sec, nsec int64, ok bool) {
+	const cmsgHdr = 16 // 64-bit cmsghdr: Len uint64, Level int32, Type int32
+	for len(oob) >= cmsgHdr {
+		l := binary.LittleEndian.Uint64(oob[0:8])
+		level := int32(binary.LittleEndian.Uint32(oob[8:12]))
+		typ := int32(binary.LittleEndian.Uint32(oob[12:16]))
+		if l < cmsgHdr || l > uint64(len(oob)) {
+			return 0, 0, false
+		}
+		if level == syscall.SOL_SOCKET && typ == scmTimestamping {
+			// scm_timestamping is three timespecs; ts[0] is the
+			// software stamp. A shorter payload is a truncated cmsg.
+			if l < cmsgHdr+16 {
+				return 0, 0, false
+			}
+			sec = int64(binary.LittleEndian.Uint64(oob[16:24]))
+			nsec = int64(binary.LittleEndian.Uint64(oob[24:32]))
+			if sec == 0 && nsec == 0 {
+				return 0, 0, false
+			}
+			if nsec < 0 || nsec >= 1e9 || sec < 0 {
+				return 0, 0, false
+			}
+			return sec, nsec, true
+		}
+		adv := (l + 7) &^ 7 // CMSG_ALIGN
+		if adv >= uint64(len(oob)) {
+			return 0, 0, false
+		}
+		oob = oob[adv:]
+	}
+	return 0, 0, false
+}

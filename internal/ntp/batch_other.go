@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package ntp
+
+import "net"
+
+// serveBatch on platforms without the batched loop (no recvmmsg/
+// sendmmsg, or an architecture whose syscall numbers and cmsg layout
+// this package does not carry): never handled, so Serve always takes
+// the portable per-packet loop.
+func (s *Server) serveBatch(pc net.PacketConn) (bool, error) {
+	return false, nil
+}

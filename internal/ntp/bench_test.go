@@ -19,10 +19,19 @@ import (
 // replies; ns/op is the per-reply budget at that shard count, and the
 // shards=4 / shards=1 throughput ratio is the sharding win recorded in
 // PERF.md.
+// The batch dimension selects the serving loop: batch=1 forces the
+// portable per-packet loop (two syscalls per reply), batch=32 runs the
+// Linux recvmmsg/sendmmsg loop. The reported sys/reply metric is the
+// measured (RecvCalls+SendCalls)/Replied from the server's own
+// counters — on a single-core runner the closed-loop clients rarely
+// build real queue depth, so replies/s understates the batching win
+// while sys/reply still shows how much of the load arrived batched.
 func BenchmarkServeLoopback(b *testing.B) {
-	for _, shards := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock()}, shards)
+	for _, dim := range []struct{ shards, batch int }{
+		{1, 1}, {1, 32}, {2, 32}, {4, 32},
+	} {
+		b.Run(fmt.Sprintf("shards=%d/batch=%d", dim.shards, dim.batch), func(b *testing.B) {
+			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Batch: dim.batch}, dim.shards)
 		})
 	}
 }
@@ -39,7 +48,7 @@ func BenchmarkServeLoopbackLimited(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			limit := ratelimit.New(ratelimit.Config{Rate: 1e9, Burst: 1e9})
-			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Limit: limit}, shards)
+			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Limit: limit, Batch: 1}, shards)
 		})
 	}
 }
@@ -128,4 +137,7 @@ func benchServeLoopback(b *testing.B, cfg ServerConfig, shards int) {
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replies/s")
+	if st := srv.Stats(); st.Replied > 0 {
+		b.ReportMetric(float64(st.RecvCalls+st.SendCalls)/float64(st.Replied), "sys/reply")
+	}
 }

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package ntp
+
+// sysSendmmsg is __NR_sendmmsg on linux/amd64 (307). The stdlib
+// syscall package was frozen before kernel 3.0 introduced sendmmsg, so
+// the number is carried here rather than pulling in x/sys/unix (this
+// repository deliberately has no dependencies outside the standard
+// library; see reuseport_linux.go for the same trade on SO_REUSEPORT).
+// SYS_RECVMMSG predates the freeze and comes from package syscall.
+const sysSendmmsg = 307

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package ntp
+
+import "syscall"
+
+// linux/arm64's syscall table was generated after sendmmsg existed, so
+// the stdlib constant is present there (unlike amd64, where the number
+// is carried locally in sysnum_amd64.go).
+const sysSendmmsg = syscall.SYS_SENDMMSG

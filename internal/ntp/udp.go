@@ -181,6 +181,18 @@ type ServerConfig struct {
 	// counted in Stats.RateLimited, so one abusive subnet spends its
 	// own bucket instead of a shard's cycles. Nil serves unlimited.
 	Limit *ratelimit.Limiter
+
+	// Batch is the serving loop's syscall batching factor on platforms
+	// with recvmmsg/sendmmsg (Linux amd64/arm64): each receive syscall
+	// drains up to Batch datagrams off the socket and each send syscall
+	// answers a whole batch, so the per-reply syscall cost is ~2/Batch
+	// instead of 2. Batched sockets also arm SO_TIMESTAMPING, so the
+	// Receive stamp of every reply reflects the kernel's NIC-adjacent
+	// arrival time rather than the scheduler wakeup that dequeued it.
+	// 0 takes the default (32); 1 forces the per-packet loop; values
+	// above 64 are clamped. Platforms without recvmmsg — and transports
+	// that are not *net.UDPConn — always serve per-packet.
+	Batch int
 }
 
 // Stats is a point-in-time snapshot of a server's request counters,
@@ -193,6 +205,25 @@ type Stats struct {
 	NonClient   uint64 // dropped: not a client-mode request
 	RateLimited uint64 // dropped: client prefix over its token budget
 	WriteErrors uint64 // reply writes that failed
+
+	// RecvCalls and SendCalls count the receive and send syscalls the
+	// serving loops issued. The per-packet loop pays one of each per
+	// reply; the batched loop amortizes each across up to Batch
+	// packets, so (RecvCalls+SendCalls)/Replied is the measured
+	// syscalls-per-reply figure the batching exists to shrink.
+	RecvCalls uint64
+	SendCalls uint64
+
+	// KernelRx counts batched datagrams that arrived with a usable
+	// kernel SO_TIMESTAMPING RX timestamp (their replies, if any, have
+	// Receive backdated to kernel arrival); KernelRxMissing counts
+	// batched datagrams without one (option unsupported, cmsg omitted
+	// by the kernel, or a stamp too stale/garbled to trust).
+	// Rate-limited packets are dropped before stamp parsing, and the
+	// per-packet fallback loop never attempts kernel stamping, so
+	// neither counts under these.
+	KernelRx        uint64
+	KernelRxMissing uint64
 }
 
 // Dropped is the total of all protocol drop reasons (rate-limited
@@ -202,13 +233,17 @@ func (s Stats) Dropped() uint64 { return s.Short + s.Malformed + s.NonClient }
 // counters is the atomic backing of Stats; one instance is shared by
 // every shard goroutine of a Server.
 type counters struct {
-	requests    atomic.Uint64
-	replied     atomic.Uint64
-	short       atomic.Uint64
-	malformed   atomic.Uint64
-	nonClient   atomic.Uint64
-	rateLimited atomic.Uint64
-	writeErrors atomic.Uint64
+	requests        atomic.Uint64
+	replied         atomic.Uint64
+	short           atomic.Uint64
+	malformed       atomic.Uint64
+	nonClient       atomic.Uint64
+	rateLimited     atomic.Uint64
+	writeErrors     atomic.Uint64
+	recvCalls       atomic.Uint64
+	sendCalls       atomic.Uint64
+	kernelRx        atomic.Uint64
+	kernelRxMissing atomic.Uint64
 }
 
 // Server is a minimal NTP responder. It answers client-mode requests
@@ -221,6 +256,7 @@ type counters struct {
 type Server struct {
 	sample SampleClock
 	limit  *ratelimit.Limiter
+	batch  int
 	stats  counters
 }
 
@@ -253,19 +289,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return s
 		}
 	}
-	return &Server{sample: sample, limit: cfg.Limit}, nil
+	return &Server{sample: sample, limit: cfg.Limit, batch: cfg.Batch}, nil
 }
 
 // Stats returns a snapshot of the request counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:    s.stats.requests.Load(),
-		Replied:     s.stats.replied.Load(),
-		Short:       s.stats.short.Load(),
-		Malformed:   s.stats.malformed.Load(),
-		NonClient:   s.stats.nonClient.Load(),
-		RateLimited: s.stats.rateLimited.Load(),
-		WriteErrors: s.stats.writeErrors.Load(),
+		Requests:        s.stats.requests.Load(),
+		Replied:         s.stats.replied.Load(),
+		Short:           s.stats.short.Load(),
+		Malformed:       s.stats.malformed.Load(),
+		NonClient:       s.stats.nonClient.Load(),
+		RateLimited:     s.stats.rateLimited.Load(),
+		WriteErrors:     s.stats.writeErrors.Load(),
+		RecvCalls:       s.stats.recvCalls.Load(),
+		SendCalls:       s.stats.sendCalls.Load(),
+		KernelRx:        s.stats.kernelRx.Load(),
+		KernelRxMissing: s.stats.kernelRxMissing.Load(),
 	}
 }
 
@@ -277,15 +317,28 @@ func (s *Server) Stats() Stats {
 // ordered; run several Serve loops (ListenShards) to scale across
 // cores.
 //
-// Input validation is explicit rather than delegated to Unmarshal:
-// packets shorter than the 48-byte v4 header and version-0 packets are
-// dropped and counted, and a request with a version above 4 is served
-// with the reply version clamped to 4 (RFC 5905 §7.3 behaviour: answer
-// with the highest version the server speaks) instead of dropped.
+// On Linux amd64/arm64 with a *net.UDPConn transport and Batch > 1,
+// Serve runs the batched hot loop: recvmmsg drains up to Batch
+// datagrams per syscall, the per-packet pipeline runs over the batch
+// in place, and one sendmmsg answers it, with kernel SO_TIMESTAMPING
+// RX stamps backdating each reply's Receive field to NIC-adjacent
+// arrival. Everywhere else (other platforms, non-UDP transports,
+// Batch = 1) the per-packet fallback loop serves with identical
+// validation, counting and reply semantics.
+func (s *Server) Serve(pc net.PacketConn) error {
+	if handled, err := s.serveBatch(pc); handled {
+		return err
+	}
+	return s.servePacket(pc)
+}
+
+// servePacket is the portable per-packet serving loop: one ReadFrom
+// and one WriteTo syscall per reply.
 //
 //repro:hotpath
-func (s *Server) Serve(pc net.PacketConn) error {
+func (s *Server) servePacket(pc net.PacketConn) error {
 	var buf [512]byte
+	var out [PacketSize]byte
 	for {
 		n, addr, err := pc.ReadFrom(buf[:])
 		if err != nil {
@@ -296,6 +349,7 @@ func (s *Server) Serve(pc net.PacketConn) error {
 			}
 			return err
 		}
+		s.stats.recvCalls.Add(1)
 		s.stats.requests.Add(1)
 		// The rate limiter runs before any parsing: an over-budget
 		// prefix must not buy header validation, let alone a clock
@@ -304,54 +358,10 @@ func (s *Server) Serve(pc net.PacketConn) error {
 			s.stats.rateLimited.Add(1)
 			continue
 		}
-		if n < PacketSize {
-			s.stats.short.Add(1)
+		if !s.handlePacket(buf[:n], &out, 0) {
 			continue
 		}
-		ver := (buf[0] >> 3) & 0x7
-		if ver == 0 {
-			s.stats.malformed.Add(1)
-			continue
-		}
-		if ver > 4 {
-			// Clamp to the newest version we speak, both for parsing
-			// (the codec rejects unknown versions) and for the reply.
-			ver = 4
-			buf[0] = buf[0]&^(0x7<<3) | ver<<3
-		}
-		var req Packet
-		if err := req.Unmarshal(buf[:n]); err != nil {
-			s.stats.malformed.Add(1)
-			continue
-		}
-		if req.Mode != ModeClient {
-			s.stats.nonClient.Add(1)
-			continue
-		}
-		// One sample stamps the whole reply. Sampling only for packets
-		// that will be answered keeps a garbage flood from buying
-		// combined-readout evaluations, and using the SAME sample for
-		// Receive and Transmit keeps the stamps mutually consistent —
-		// two samples could straddle a publication and step Transmit
-		// before Receive. The sub-microsecond dwell this hides is far
-		// below the clock's error scale.
-		rx := s.sample()
-		resp := Packet{
-			Leap:      rx.Leap,
-			Version:   ver,
-			Mode:      ModeServer,
-			Stratum:   rx.Stratum,
-			Poll:      req.Poll,
-			Precision: rx.Precision,
-			RootDelay: rx.RootDelay,
-			RootDisp:  rx.RootDisp,
-			RefID:     rx.RefID,
-			RefTime:   rx.Time,
-			Origin:    req.Transmit,
-			Receive:   rx.Time,
-			Transmit:  rx.Time,
-		}
-		out := resp.Marshal()
+		s.stats.sendCalls.Add(1)
 		if _, err := pc.WriteTo(out[:], addr); err != nil {
 			// Reply write failures are per-packet, not per-server: a
 			// request from a spoofed broadcast source (EACCES) or a
@@ -366,4 +376,86 @@ func (s *Server) Serve(pc net.PacketConn) error {
 		}
 		s.stats.replied.Add(1)
 	}
+}
+
+// handlePacket is the per-packet serving pipeline over caller-owned
+// buffers: validate the datagram in `in` (mutated in place for the
+// v5+ version clamp), stamp one clock sample, and marshal the reply
+// into out. It returns true when out holds a reply to send; drops are
+// counted internally (short, malformed, non-client). The caller owns
+// the surrounding concerns — counting the request, rate limiting,
+// sending the reply and counting its outcome — because those differ
+// between the per-packet and batched loops while this pipeline must
+// not.
+//
+// Input validation is explicit rather than delegated to Unmarshal:
+// packets shorter than the 48-byte v4 header and version-0 packets are
+// dropped and counted, and a request with a version above 4 is served
+// with the reply version clamped to 4 (RFC 5905 §7.3 behaviour: answer
+// with the highest version the server speaks) instead of dropped.
+//
+// rxAge is how long ago the kernel stamped the datagram's arrival
+// (zero when unknown): the reply's Receive stamp is backdated by it,
+// so clients measure from NIC-adjacent arrival rather than from the
+// scheduler wakeup that dequeued the packet — the paper's point that
+// stamps taken closer to the wire carry less host noise, applied to
+// the serving side. Transmit keeps the undated sample, so the visible
+// Receive→Transmit dwell is the genuine queue + processing time.
+//
+//repro:hotpath
+func (s *Server) handlePacket(in []byte, out *[PacketSize]byte, rxAge time.Duration) bool {
+	if len(in) < PacketSize {
+		s.stats.short.Add(1)
+		return false
+	}
+	ver := (in[0] >> 3) & 0x7
+	if ver == 0 {
+		s.stats.malformed.Add(1)
+		return false
+	}
+	if ver > 4 {
+		// Clamp to the newest version we speak, both for parsing
+		// (the codec rejects unknown versions) and for the reply.
+		ver = 4
+		in[0] = in[0]&^(0x7<<3) | ver<<3
+	}
+	var req Packet
+	if err := req.Unmarshal(in); err != nil {
+		s.stats.malformed.Add(1)
+		return false
+	}
+	if req.Mode != ModeClient {
+		s.stats.nonClient.Add(1)
+		return false
+	}
+	// One sample stamps the whole reply. Sampling only for packets
+	// that will be answered keeps a garbage flood from buying
+	// combined-readout evaluations, and using the SAME sample for
+	// Receive and Transmit keeps the stamps mutually consistent —
+	// two samples could straddle a publication and step Transmit
+	// before Receive. Without a kernel RX stamp the sub-microsecond
+	// dwell this hides is far below the clock's error scale; with one,
+	// Receive is backdated by the measured age instead.
+	rx := s.sample()
+	recv := rx.Time
+	if rxAge > 0 {
+		recv = recv.Add(-rxAge)
+	}
+	resp := Packet{
+		Leap:      rx.Leap,
+		Version:   ver,
+		Mode:      ModeServer,
+		Stratum:   rx.Stratum,
+		Poll:      req.Poll,
+		Precision: rx.Precision,
+		RootDelay: rx.RootDelay,
+		RootDisp:  rx.RootDisp,
+		RefID:     rx.RefID,
+		RefTime:   rx.Time,
+		Origin:    req.Transmit,
+		Receive:   recv,
+		Transmit:  rx.Time,
+	}
+	*out = resp.Marshal()
+	return true
 }

@@ -141,6 +141,33 @@ func PrefixKey(ip net.IP) (key uint64, ok bool) {
 		uint64(ip[3])<<16 | uint64(ip[4])<<8 | uint64(ip[5]), true
 }
 
+// PrefixKey4 is PrefixKey for a raw IPv4 address already in hand as 4
+// bytes (e.g. a RawSockaddrInet4.Addr from a batched receive): the /24
+// prefix tagged into the IPv4 key space, with no net.IP boxing and no
+// failure mode.
+//
+//repro:hotpath
+func PrefixKey4(a [4]byte) uint64 {
+	return 1<<63 | uint64(a[0])<<16 | uint64(a[1])<<8 | uint64(a[2])
+}
+
+// PrefixKey16 is PrefixKey for a raw 16-byte address (e.g. a
+// RawSockaddrInet6.Addr): IPv4-mapped addresses (::ffff:a.b.c.d, which
+// is how an AF_INET6 socket presents IPv4 traffic) key into the IPv4
+// space so a client is budgeted identically over either socket family;
+// everything else keys by its /48.
+//
+//repro:hotpath
+func PrefixKey16(a *[16]byte) uint64 {
+	if a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0 &&
+		a[4] == 0 && a[5] == 0 && a[6] == 0 && a[7] == 0 &&
+		a[8] == 0 && a[9] == 0 && a[10] == 0xff && a[11] == 0xff {
+		return PrefixKey4([4]byte{a[12], a[13], a[14], a[15]})
+	}
+	return uint64(a[0])<<40 | uint64(a[1])<<32 | uint64(a[2])<<24 |
+		uint64(a[3])<<16 | uint64(a[4])<<8 | uint64(a[5])
+}
+
 // AllowAddr applies Allow to a packet source as the serve loop sees it
 // (fail open on non-UDP or unparseable sources).
 //

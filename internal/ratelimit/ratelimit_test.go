@@ -200,3 +200,69 @@ func TestLimiterConcurrency(t *testing.T) {
 		t.Error("no buckets tracked")
 	}
 }
+
+// TestPrefixKeyRawEquivalence: the raw-sockaddr key functions the
+// batched serving loop uses must agree bit-for-bit with PrefixKey's
+// net.IP classification — same keys, same budgets, whichever loop or
+// socket family a client arrives through.
+func TestPrefixKeyRawEquivalence(t *testing.T) {
+	v4s := [][4]byte{
+		{0, 0, 0, 0}, {127, 0, 0, 1}, {192, 0, 2, 17}, {192, 0, 2, 200},
+		{10, 1, 2, 3}, {255, 255, 255, 255},
+	}
+	for _, a := range v4s {
+		want, ok := PrefixKey(net.IPv4(a[0], a[1], a[2], a[3]))
+		if !ok {
+			t.Fatalf("PrefixKey rejected v4 %v", a)
+		}
+		if got := PrefixKey4(a); got != want {
+			t.Errorf("PrefixKey4(%v) = %#x, want %#x", a, got, want)
+		}
+		// The same client over an AF_INET6 socket arrives v4-mapped and
+		// must land in the same bucket.
+		mapped := [16]byte{10: 0xff, 11: 0xff}
+		copy(mapped[12:], a[:])
+		if got := PrefixKey16(&mapped); got != want {
+			t.Errorf("PrefixKey16(mapped %v) = %#x, want %#x", a, got, want)
+		}
+	}
+	v6s := [][16]byte{
+		{0x20, 0x01, 0x0d, 0xb8, 0, 1, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1},
+		{0xfe, 0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9},
+		{15: 1}, // ::1
+	}
+	for _, a := range v6s {
+		ip := make(net.IP, net.IPv6len)
+		copy(ip, a[:])
+		want, ok := PrefixKey(ip)
+		if !ok {
+			t.Fatalf("PrefixKey rejected v6 %v", a)
+		}
+		if got := PrefixKey16(&a); got != want {
+			t.Errorf("PrefixKey16(%v) = %#x, want %#x", a, got, want)
+		}
+	}
+	// Same /24 (or /48) must collide; different must not.
+	if PrefixKey4([4]byte{192, 0, 2, 1}) != PrefixKey4([4]byte{192, 0, 2, 254}) {
+		t.Error("same /24 produced different keys")
+	}
+	if PrefixKey4([4]byte{192, 0, 2, 1}) == PrefixKey4([4]byte{192, 0, 3, 1}) {
+		t.Error("different /24s collided")
+	}
+}
+
+// TestPrefixKeyRawZeroAlloc: the raw key derivations and Allow are the
+// batched loop's whole per-packet rate-limit cost; none may allocate.
+func TestPrefixKeyRawZeroAlloc(t *testing.T) {
+	l := New(Config{Rate: 1e12, Burst: 1e12})
+	a4 := [4]byte{192, 0, 2, 1}
+	a16 := [16]byte{0x20, 0x01, 0x0d, 0xb8, 15: 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !l.Allow(PrefixKey4(a4)) || !l.Allow(PrefixKey16(&a16)) {
+			t.Fatal("allow denied under infinite budget")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("raw-key Allow path allocates %.1f per packet, want 0", allocs)
+	}
+}

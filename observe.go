@@ -66,6 +66,21 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 		nonClient := fold(dropped.With("nonclient"))
 		rateLimited := fold(reg.Counter("ntp_rate_limited_total", "Requests dropped by the per-prefix token bucket."))
 		writeErrors := fold(reg.Counter("ntp_write_errors_total", "Reply writes that failed."))
+		recvCalls := fold(reg.Counter("ntp_recv_syscalls_total", "Receive syscalls issued by the serving loops (recvmmsg drains a whole batch per call)."))
+		sendCalls := fold(reg.Counter("ntp_send_syscalls_total", "Send syscalls issued by the serving loops (sendmmsg answers a whole batch per call)."))
+		kernelRx := fold(reg.Counter("ntp_kernel_rx_stamps_total", "Batched datagrams carrying a usable kernel SO_TIMESTAMPING RX timestamp."))
+		kernelRxMissing := fold(reg.Counter("ntp_kernel_rx_missing_total", "Batched datagrams served without a usable kernel RX timestamp."))
+		// The average receive batch depth per syscall is the lever the
+		// batched loop exists to pull; near 1.0 it means the socket
+		// never builds queue depth and the loop degenerates to
+		// per-packet cost.
+		reg.GaugeFunc("ntp_rx_batch_avg", "Mean datagrams drained per receive syscall since start.", func() float64 {
+			st := srv.Stats()
+			if st.RecvCalls == 0 {
+				return 0
+			}
+			return float64(st.Requests) / float64(st.RecvCalls)
+		})
 		reg.OnScrape(func() {
 			st := srv.Stats()
 			foldMu.Lock()
@@ -77,6 +92,10 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 			nonClient(st.NonClient)
 			rateLimited(st.RateLimited)
 			writeErrors(st.WriteErrors)
+			recvCalls(st.RecvCalls)
+			sendCalls(st.SendCalls)
+			kernelRx(st.KernelRx)
+			kernelRxMissing(st.KernelRxMissing)
 		})
 	}
 
