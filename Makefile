@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint reprolint fmt bench clean
+.PHONY: all build test race lint reprolint fmt bench bench-json clean
 
 all: lint test build
 
@@ -34,6 +34,12 @@ fmt:
 bench:
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkProcess -benchtime 1000x -benchmem
 	$(GO) test ./internal/ensemble/ -run xxx -bench BenchmarkEnsemble -benchtime 10x -benchmem
+
+# bench-json snapshots the serving-path benchmarks (ns/op, allocs/op,
+# syscalls/reply, kernel stamp coverage) into BENCH_<date>.json via
+# tools/benchjson, so perf claims are diffable data.
+bench-json:
+	$(GO) test ./internal/ntp/ -run xxx -bench BenchmarkServeLoopback -benchmem | $(GO) run ./tools/benchjson
 
 clean:
 	$(GO) clean ./...

@@ -55,6 +55,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measurement length")
 		timeout  = flag.Duration("timeout", time.Second, "per-read reply timeout (a timed-out slot is resent)")
 		batch    = flag.Int("batch", 0, "selftest server's syscall batch size (0 = default 32, 1 = per-packet loop)")
+		txstamp  = flag.Bool("txstamp", false, "selftest server arms kernel TX error-queue stamps and forward-dates Transmit")
 	)
 	flag.Parse()
 	if *flows < 1 || *window < 1 || *window > 255 {
@@ -69,7 +70,7 @@ func main() {
 		}
 		var stop func()
 		var err error
-		srv, addr, stop, err = startSelftestServer(*batch)
+		srv, addr, stop, err = startSelftestServer(*batch, *txstamp)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,8 +97,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var sent, recv, timeouts, mismatched uint64
-	var lat []float64
+	var sent, recv, timeouts, mismatched, kstamped uint64
+	var lat, klat, kdelta []float64
 	failed := false
 	for f, r := range results {
 		if r.err != nil {
@@ -109,7 +110,10 @@ func main() {
 		recv += r.recv
 		timeouts += r.timeouts
 		mismatched += r.mismatched
+		kstamped += r.kstamped
 		lat = append(lat, r.latencies...)
+		klat = append(klat, r.klat...)
+		kdelta = append(kdelta, r.kdelta...)
 	}
 
 	mode := fmt.Sprintf("saturation, %d flows x window %d", *flows, *window)
@@ -125,11 +129,27 @@ func main() {
 		fmt.Printf("  latency: min %s  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s  (%d samples)\n",
 			us(q[0]), us(q[1]), us(q[2]), us(q[3]), us(q[4]), us(q[5]), len(lat))
 	}
+	if len(klat) > 0 {
+		// The kernel-RX-stamp latency excludes the reply's dwell in the
+		// client's socket buffer and the wakeup; the delta line IS that
+		// excluded dwell — the stamping noise a userspace-stamped client
+		// folds into every measured RTT.
+		q := stats.NewSorted(klat).Quantiles(50, 90, 99)
+		d := stats.NewSorted(kdelta).Quantiles(50, 90, 99)
+		fmt.Printf("  kernel-rx latency: p50 %s  p90 %s  p99 %s  (%d/%d replies stamped)\n",
+			us(q[0]), us(q[1]), us(q[2]), kstamped, recv)
+		fmt.Printf("  kernel-vs-userspace rx delta: p50 %s  p90 %s  p99 %s\n",
+			us(d[0]), us(d[1]), us(d[2]))
+	}
 	if srv != nil {
 		st := srv.Stats()
 		fmt.Printf("  server: %d replies, %.3g syscalls/reply, kernel rx stamps %d/%d\n",
 			st.Replied, float64(st.RecvCalls+st.SendCalls)/max1(float64(st.Replied)),
 			st.KernelRx, st.KernelRx+st.KernelRxMissing)
+		if st.KernelTx+st.KernelTxMissing > 0 {
+			fmt.Printf("  server: kernel tx stamps %d/%d, tx dwell ewma %v, clamped %d\n",
+				st.KernelTx, st.KernelTx+st.KernelTxMissing, st.TxDwellEWMA, st.StampClamped)
+		}
 	}
 	if recv == 0 {
 		log.Fatal("loadgen: no replies received")
@@ -152,8 +172,8 @@ func us(sec float64) string { return fmt.Sprintf("%.1fµs", sec*1e6) }
 // startSelftestServer boots a single-shard stratum-1 server on an
 // ephemeral loopback socket, returning the server (for its counters),
 // its address, and a stop function that drains the serve goroutine.
-func startSelftestServer(batch int) (*ntp.Server, string, func(), error) {
-	srv, err := ntp.NewServer(ntp.ServerConfig{Clock: ntp.SystemServerClock(), Batch: batch})
+func startSelftestServer(batch int, txstamp bool) (*ntp.Server, string, func(), error) {
+	srv, err := ntp.NewServer(ntp.ServerConfig{Clock: ntp.SystemServerClock(), Batch: batch, TxStamp: txstamp})
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -179,7 +199,10 @@ type flowResult struct {
 	recv       uint64
 	timeouts   uint64
 	mismatched uint64
-	latencies  []float64 // seconds
+	kstamped   uint64
+	latencies  []float64 // seconds, send→userspace read
+	klat       []float64 // seconds, send→kernel RX stamp
+	kdelta     []float64 // seconds, kernel RX stamp→userspace read
 	err        error
 }
 
@@ -213,6 +236,12 @@ func runFlow(ctx context.Context, addr string, window int, perFlowRate float64, 
 		return r
 	}
 	defer conn.Close()
+	// Kernel RX stamps on the measuring socket, where the platform has
+	// them: latency to the kernel stamp excludes client-side buffer
+	// dwell, and stamp→read gives the kernel-vs-userspace delta.
+	uc, _ := conn.(*net.UDPConn)
+	kstamps := uc != nil && ntp.EnableRxTimestamping(uc)
+	var oob [128]byte
 
 	var interval time.Duration
 	if perFlowRate > 0 {
@@ -277,7 +306,12 @@ func runFlow(ctx context.Context, addr string, window int, perFlowRate float64, 
 			deadline = ctxd.Add(timeout) // drain phase: bounded overrun
 		}
 		conn.SetReadDeadline(deadline)
-		n, err := conn.Read(rbuf[:])
+		var n, oobn int
+		if kstamps {
+			n, oobn, _, _, err = uc.ReadMsgUDP(rbuf[:], oob[:])
+		} else {
+			n, err = conn.Read(rbuf[:])
+		}
 		now := time.Now()
 		if err != nil {
 			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
@@ -316,6 +350,15 @@ func runFlow(ctx context.Context, addr string, window int, perFlowRate float64, 
 		lastReply = now
 		if len(r.latencies) < latencyCap {
 			r.latencies = append(r.latencies, now.Sub(sendAt[slot]).Seconds())
+		}
+		if kstamps && oobn > 0 {
+			if krx, ok := ntp.RxTimestampFromOOB(oob[:oobn]); ok {
+				r.kstamped++
+				if len(r.klat) < latencyCap {
+					r.klat = append(r.klat, krx.Sub(sendAt[slot]).Seconds())
+					r.kdelta = append(r.kdelta, now.Sub(krx).Seconds())
+				}
+			}
 		}
 		free = append(free, slot)
 	}

@@ -65,6 +65,7 @@ func main() {
 		httpAddr = flag.String("http", "", "TCP address for the /metrics, /healthz and /readyz observability endpoints (empty disables)")
 		limit    = flag.Float64("limit", 0, "per-client-prefix (/24, /48) request budget in req/s, burst 2x (0 disables)")
 		batch    = flag.Int("batch", 0, "serving syscall batch size on Linux (0 = default 32, 1 = per-packet loop)")
+		txstamp  = flag.Bool("txstamp", false, "arm kernel TX error-queue timestamps and forward-date Transmit by the measured send dwell (Linux batched path)")
 	)
 	flag.Parse()
 
@@ -105,7 +106,7 @@ func main() {
 			_ = ml.Run(ctx, nil)
 		}()
 		sample = ml.ServerSample(ntp.RefIDFromString(*refid))
-		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample, Limit: lim, Batch: *batch})
+		srv, err = ntp.NewServer(ntp.ServerConfig{Sample: sample, Limit: lim, Batch: *batch, TxStamp: *txstamp})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,10 +115,11 @@ func main() {
 			*refid = "GPS"
 		}
 		srv, err = ntp.NewServer(ntp.ServerConfig{
-			Clock: ntp.SystemServerClock(),
-			RefID: ntp.RefIDFromString(*refid),
-			Limit: lim,
-			Batch: *batch,
+			Clock:   ntp.SystemServerClock(),
+			RefID:   ntp.RefIDFromString(*refid),
+			Limit:   lim,
+			Batch:   *batch,
+			TxStamp: *txstamp,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -203,6 +205,10 @@ func statsLine(srv *ntp.Server, sh *ntp.Shards, ml *tscclock.MultiLive, sample n
 	}
 	if st.KernelRx+st.KernelRxMissing > 0 {
 		line += fmt.Sprintf("; kernel rx stamps %d/%d", st.KernelRx, st.KernelRx+st.KernelRxMissing)
+	}
+	if st.KernelTx+st.KernelTxMissing > 0 {
+		line += fmt.Sprintf("; kernel tx stamps %d/%d, tx dwell ewma %v, clamped %d",
+			st.KernelTx, st.KernelTx+st.KernelTxMissing, st.TxDwellEWMA, st.StampClamped)
 	}
 	var restarts uint64
 	var lastErr error

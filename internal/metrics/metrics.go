@@ -77,6 +77,79 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Histogram is a fixed-bucket cumulative histogram. Buckets are set at
+// registration and never change, so an observation is one bounded
+// bounds scan plus an atomic add — no map, no lock, no allocation.
+// Rendering follows the Prometheus convention: cumulative
+// `_bucket{le="…"}` series with an implicit +Inf bucket, plus `_sum`
+// and `_count`.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; +Inf implicit
+	buckets []atomic.Uint64 // len(bounds)+1, per-bucket (non-cumulative)
+	sum     atomic.Uint64   // float64 bits of the observation sum
+}
+
+// Observe records one sample.
+//
+//repro:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.AddSum(v)
+}
+
+// AddBucket adds n observations directly to bucket i (0-based; the
+// last index is the +Inf bucket) without touching the sum — the fold
+// hook for sources that maintain their own bucket counts (ntp.Stats).
+func (h *Histogram) AddBucket(i int, n uint64) { h.buckets[i].Add(n) }
+
+// AddSum adds d to the observation sum, for use with AddBucket.
+//
+//repro:hotpath
+func (h *Histogram) AddSum(d float64) {
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// NumBuckets returns the bucket count including the +Inf bucket.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the observation sum.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Histogram registers a histogram with the given ascending bucket
+// upper bounds (a trailing +Inf bucket is added automatically).
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending", name))
+		}
+	}
+	f := r.newFamily(name, help, "histogram", nil)
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	f.hist = h
+	return h
+}
+
 // cell is one rendered sample: a pre-escaped label suffix plus its
 // value source (exactly one of counter, gauge, or fn).
 type cell struct {
@@ -91,10 +164,11 @@ type cell struct {
 type family struct {
 	name  string
 	help  string
-	typ   string // "counter" or "gauge"
+	typ   string // "counter", "gauge" or "histogram"
 	mu    sync.Mutex
 	cells []*cell
 	byKey map[string]*cell // label suffix → cell, for Vec.With caching
+	hist  *Histogram       // set instead of cells for histogram families
 }
 
 // Registry holds metric families and renders them on scrape. Families
@@ -318,6 +392,34 @@ func (r *Registry) WriteText(w io.Writer) error {
 		b = append(b, ' ')
 		b = append(b, f.typ...)
 		b = append(b, '\n')
+		if h := f.hist; h != nil {
+			var cum uint64
+			for i := range h.buckets {
+				cum += h.buckets[i].Load()
+				b = append(b, f.name...)
+				b = append(b, `_bucket{le="`...)
+				if i < len(h.bounds) {
+					b = appendFloat(b, h.bounds[i])
+				} else {
+					b = append(b, "+Inf"...)
+				}
+				b = append(b, `"} `...)
+				b = strconv.AppendUint(b, cum, 10)
+				b = append(b, '\n')
+			}
+			b = append(b, f.name...)
+			b = append(b, "_sum "...)
+			b = appendFloat(b, h.Sum())
+			b = append(b, '\n')
+			b = append(b, f.name...)
+			b = append(b, "_count "...)
+			b = strconv.AppendUint(b, cum, 10)
+			b = append(b, '\n')
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+			continue
+		}
 		for _, c := range cells {
 			b = append(b, f.name...)
 			b = append(b, c.labels...)

@@ -60,25 +60,22 @@ const (
 	// cmsg (e.g. SO_RXQ_OVFL) before truncation.
 	oobSize = 128
 
-	// soTimestamping is SO_TIMESTAMPING from asm-generic/socket.h (37
-	// on amd64 and arm64; the value differs only on parisc and sparc,
-	// which the build tag excludes). The same value is the
-	// SCM_TIMESTAMPING control-message type.
-	soTimestamping  = 37
-	scmTimestamping = 37
+	// errBatch and errBufSize size the TX error-queue drain slabs: one
+	// recvmmsg drains up to errBatch looped-back replies, each at most
+	// IPv6+UDP headers plus the 48-byte payload (96 bytes) — errBufSize
+	// leaves headroom for options. The drain runs after every flush, so
+	// the queue depth tracks the send batch.
+	errBatch   = 16
+	errBufSize = 128
 
-	// SOF_TIMESTAMPING flags: generate software RX timestamps and
-	// report them. Hardware stamps are deliberately not requested —
-	// they come from the NIC's PHC, a clock not comparable with
-	// CLOCK_REALTIME, so an age computed against them would be
-	// garbage.
-	sofTimestampingRxSoftware = 1 << 3
-	sofTimestampingSoftware   = 1 << 4
-
-	// maxStampAge bounds how stale a kernel RX stamp may be before it
-	// is distrusted (a clock step between the kernel stamp and our
-	// wall read would otherwise backdate Receive by the step).
-	maxStampAge = time.Second
+	// txRingSize is the reply→send-time correlation ring (open
+	// addressed by a hash of the Transmit cookie, txRingProbe-way
+	// set-associative). A full probe window evicts the oldest entry —
+	// that stamp is counted as KernelTxMissing, never wrong. Sized so
+	// a full sendmmsg batch of distinct cookies correlates with
+	// negligible collision loss.
+	txRingSize  = 512
+	txRingProbe = 4
 )
 
 // mmsghdr mirrors struct mmsghdr from <sys/socket.h>: one msghdr plus
@@ -133,10 +130,11 @@ func (s *Server) serveBatch(pc net.PacketConn) (handled bool, err error) {
 // and the RawConn callbacks (created once — a closure per batch would
 // be a steady-state allocation).
 type batchLoop struct {
-	srv      *Server
-	rc       syscall.RawConn
-	batch    int
-	stamping bool // SO_TIMESTAMPING armed on the socket
+	srv        *Server
+	rc         syscall.RawConn
+	batch      int
+	stamping   bool // SO_TIMESTAMPING RX armed on the socket
+	txStamping bool // SOF_TIMESTAMPING_TX_SOFTWARE armed (ServerConfig.TxStamp)
 
 	pktIn  []byte                   // batch × rxBufSize receive slab
 	pktOut []byte                   // batch × PacketSize reply slab
@@ -146,6 +144,17 @@ type batchLoop struct {
 	rmsgs  []mmsghdr
 	siovs  []syscall.Iovec
 	smsgs  []mmsghdr
+
+	// TX error-queue drain slabs (allocated only when txStamping) and
+	// the cookie→send-time correlation ring. procWall is the wall time
+	// the current batch was processed at, recorded so flush can stamp
+	// every sent reply's ring entry without re-reading the clock.
+	errPkt   []byte // errBatch × errBufSize looped-packet slab
+	errOob   []byte // errBatch × oobSize control slab
+	erriovs  []syscall.Iovec
+	errmsgs  []mmsghdr
+	txRing   []txRingEntry
+	procWall int64
 
 	// Syscall results, carried out of the RawConn callbacks.
 	recvN   int
@@ -157,6 +166,67 @@ type batchLoop struct {
 
 	readFn  func(fd uintptr) bool
 	writeFn func(fd uintptr) bool
+	drainFn func(fd uintptr)
+}
+
+// txRingEntry correlates one sent reply (by its Transmit cookie) with
+// the wall time its batch was processed, so the error-queue stamp can
+// be turned into a userspace→kernel dwell.
+type txRingEntry struct {
+	cookie uint64
+	sent   int64 // procWall nanos at handlePacket time
+}
+
+// txRingIdx hashes a Transmit cookie to its home slot in the
+// correlation ring (Fibonacci hashing; the cookie's low bits are
+// fractional-second noise, the multiply spreads them across the
+// table).
+//
+//repro:hotpath
+func txRingIdx(cookie uint64) int {
+	return int((cookie * 0x9E3779B97F4A7C15) >> (64 - 9)) // log2(txRingSize) bits
+}
+
+// txRingInsert records a sent reply in the correlation ring: take the
+// first free (or same-cookie) slot in the probe window, else evict the
+// oldest entry — whose stamp, if it ever loops back, is simply counted
+// missing. A cookie of zero marks a free slot; Marshal never emits a
+// zero Transmit for a served reply.
+//
+//repro:hotpath
+func (bl *batchLoop) txRingInsert(cookie uint64, sent int64) {
+	base := txRingIdx(cookie)
+	victim := base
+	oldest := int64(1<<63 - 1)
+	for p := 0; p < txRingProbe; p++ {
+		i := (base + p) & (txRingSize - 1)
+		ent := &bl.txRing[i]
+		if ent.cookie == 0 || ent.cookie == cookie {
+			ent.cookie, ent.sent = cookie, sent
+			return
+		}
+		if ent.sent < oldest {
+			oldest, victim = ent.sent, i
+		}
+	}
+	bl.txRing[victim] = txRingEntry{cookie: cookie, sent: sent}
+}
+
+// txRingTake looks a looped-back cookie up in the probe window and
+// frees the slot on a hit, keeping ring occupancy proportional to the
+// stamps still in flight.
+//
+//repro:hotpath
+func (bl *batchLoop) txRingTake(cookie uint64) (int64, bool) {
+	base := txRingIdx(cookie)
+	for p := 0; p < txRingProbe; p++ {
+		ent := &bl.txRing[(base+p)&(txRingSize-1)]
+		if ent.cookie == cookie {
+			ent.cookie = 0
+			return ent.sent, true
+		}
+	}
+	return 0, false
 }
 
 // newBatchLoop allocates and wires the slabs. Receive-side mmsghdrs
@@ -191,13 +261,44 @@ func newBatchLoop(s *Server, rc syscall.RawConn, batch int) *batchLoop {
 		bl.smsgs[i].hdr.Iovlen = 1
 	}
 	bl.resetHeaders(batch)
-	bl.stamping = enableTimestamping(rc)
+
+	// Arm RX stamps always; add TX stamps when configured. A kernel
+	// that rejects the combined flags (no TX loopback support) falls
+	// back to RX-only rather than losing both.
+	rxFlags := sofTimestampingRxSoftware | sofTimestampingSoftware
+	if s.txStamp && armTimestamping(rc, rxFlags|sofTimestampingTxSoftware) {
+		bl.stamping, bl.txStamping = true, true
+	} else {
+		bl.stamping = armTimestamping(rc, rxFlags)
+	}
+	if bl.txStamping {
+		bl.errPkt = make([]byte, errBatch*errBufSize)
+		bl.errOob = make([]byte, errBatch*oobSize)
+		bl.erriovs = make([]syscall.Iovec, errBatch)
+		bl.errmsgs = make([]mmsghdr, errBatch)
+		bl.txRing = make([]txRingEntry, txRingSize)
+		for i := 0; i < errBatch; i++ {
+			bl.erriovs[i].Base = &bl.errPkt[i*errBufSize]
+			bl.erriovs[i].Len = errBufSize
+			bl.errmsgs[i].hdr.Iov = &bl.erriovs[i]
+			bl.errmsgs[i].hdr.Iovlen = 1
+			bl.errmsgs[i].hdr.Control = &bl.errOob[i*oobSize]
+		}
+		bl.drainFn = func(fd uintptr) { bl.drainErrqueue(fd) }
+	}
 
 	bl.readFn = func(fd uintptr) bool {
 		n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
 			uintptr(unsafe.Pointer(&bl.rmsgs[0])), uintptr(bl.batch),
 			syscall.MSG_DONTWAIT, 0, 0)
 		if e == syscall.EAGAIN {
+			// A pending error-queue entry raises POLLERR, which wakes
+			// this read without making the receive queue readable;
+			// draining here both harvests the TX stamps and clears the
+			// condition so the park is not a spin.
+			if bl.txStamping {
+				bl.drainErrqueue(fd)
+			}
 			return false // park on the netpoller until readable
 		}
 		bl.srv.stats.recvCalls.Add(1)
@@ -224,18 +325,6 @@ func newBatchLoop(s *Server, rc syscall.RawConn, batch int) *batchLoop {
 		return true
 	}
 	return bl
-}
-
-// enableTimestamping arms software RX timestamping on the socket;
-// failure (old kernel, exotic socket) just means every packet counts
-// as KernelRxMissing and Receive stamps fall back to sample time.
-func enableTimestamping(rc syscall.RawConn) bool {
-	var serr error
-	err := rc.Control(func(fd uintptr) {
-		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soTimestamping,
-			sofTimestampingRxSoftware|sofTimestampingSoftware)
-	})
-	return err == nil && serr == nil
 }
 
 // run is the shard loop: drain a batch, process it in place, flush the
@@ -267,6 +356,12 @@ func (bl *batchLoop) run() error {
 			if err := bl.flush(nOut); err != nil {
 				return err
 			}
+			if bl.txStamping {
+				// Harvest the TX stamps the kernel queued while (and
+				// right after) the flush; anything not yet looped back
+				// is picked up by the next drain or the POLLERR wake.
+				_ = bl.rc.Control(bl.drainFn)
+			}
 		}
 		bl.resetHeaders(n)
 	}
@@ -283,9 +378,16 @@ func (bl *batchLoop) process(n int) int {
 	s := bl.srv
 	s.stats.requests.Add(uint64(n))
 	// One wall read ages every kernel stamp in the batch: the spread
-	// within a batch is microseconds, far below maxStampAge.
+	// within a batch is microseconds, far below stampMaxAge. The same
+	// read anchors the TX correlation ring (procWall) and one
+	// txAdvance lookup forward-dates every reply in the batch.
 	now := time.Now()
-	kStamped, kMissing := uint64(0), uint64(0)
+	bl.procWall = now.UnixNano()
+	var txAdv time.Duration
+	if bl.txStamping {
+		txAdv = s.txAdvance()
+	}
+	kStamped, kMissing, kClamped := uint64(0), uint64(0), uint64(0)
 	nOut := 0
 	for i := 0; i < n; i++ {
 		if s.limit != nil {
@@ -301,23 +403,25 @@ func (bl *batchLoop) process(n int) int {
 		var rxAge time.Duration
 		if sec, nsec, ok := parseRxTimestamp(bl.oob[i*oobSize : i*oobSize+int(bl.rmsgs[i].hdr.Controllen)]); ok {
 			rxAge = now.Sub(time.Unix(sec, nsec))
-			if rxAge >= 0 && rxAge <= maxStampAge {
+			if rxAge >= 0 && rxAge <= stampMaxAge {
 				kStamped++
-			} else if rxAge > -time.Millisecond && rxAge < 0 {
+			} else if rxAge >= -stampSlack && rxAge < 0 {
 				// Sub-millisecond negative age is wall-clock jitter
 				// between the kernel stamp and our read, not a lie.
 				rxAge = 0
 				kStamped++
+				kClamped++
 			} else {
 				rxAge = 0 // a clock step; the sample time is safer
 				kMissing++
+				kClamped++
 			}
 		} else {
 			kMissing++
 		}
 		in := bl.pktIn[i*rxBufSize : i*rxBufSize+int(bl.rmsgs[i].nrecv)]
 		out := (*[PacketSize]byte)(bl.pktOut[nOut*PacketSize:])
-		if !s.handlePacket(in, out, rxAge) {
+		if !s.handlePacket(in, out, rxAge, txAdv) {
 			continue
 		}
 		bl.smsgs[nOut].hdr.Name = (*byte)(unsafe.Pointer(&bl.names[i]))
@@ -326,6 +430,9 @@ func (bl *batchLoop) process(n int) int {
 	}
 	s.stats.kernelRx.Add(kStamped)
 	s.stats.kernelRxMissing.Add(kMissing)
+	if kClamped > 0 {
+		s.stats.stampClamped.Add(kClamped)
+	}
 	return nOut
 }
 
@@ -351,9 +458,111 @@ func (bl *batchLoop) flush(n int) error {
 			continue
 		}
 		bl.srv.stats.replied.Add(uint64(bl.sentN))
+		if bl.txStamping {
+			// Record every sent reply's Transmit cookie against the
+			// batch's process time so the looped-back error-queue copy
+			// can be correlated into a userspace→kernel dwell.
+			for k := bl.sendOff; k < bl.sendOff+bl.sentN; k++ {
+				ck := binary.BigEndian.Uint64(bl.pktOut[k*PacketSize+40:])
+				bl.txRingInsert(ck, bl.procWall)
+			}
+		}
 		bl.sendOff += bl.sentN
 	}
 	return nil
+}
+
+// drainErrqueue empties the socket error queue of looped-back TX
+// copies: each recvmmsg with MSG_ERRQUEUE drains up to errBatch
+// entries into the preallocated slabs, processTxStamps correlates them
+// to sent replies, and the loop stops when a drain comes back short
+// (queue empty). Runs inside a RawConn callback (fd is valid for the
+// duration); never blocks.
+//
+//repro:hotpath
+func (bl *batchLoop) drainErrqueue(fd uintptr) {
+	for {
+		bl.resetErrHeaders()
+		n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&bl.errmsgs[0])), uintptr(errBatch),
+			syscall.MSG_ERRQUEUE|syscall.MSG_DONTWAIT, 0, 0)
+		if e != 0 || n == 0 {
+			return
+		}
+		bl.processTxStamps(int(n))
+		if int(n) < errBatch {
+			return
+		}
+	}
+}
+
+// processTxStamps turns n drained error-queue entries into TX dwell
+// samples: parse the SCM_TIMESTAMPING cmsg, read the Transmit cookie
+// off the looped payload's tail, look up the send time in the
+// correlation ring, and feed the clamp-checked dwell into the server's
+// EWMA and histogram. Split from drainErrqueue so the deterministic
+// correlation test and the zero-alloc gate can drive it with
+// hand-built slabs.
+//
+//repro:hotpath
+func (bl *batchLoop) processTxStamps(n int) {
+	s := bl.srv
+	var stamped, missing, clamped uint64
+	for i := 0; i < n; i++ {
+		oob := bl.errOob[i*oobSize : i*oobSize+int(bl.errmsgs[i].hdr.Controllen)]
+		sec, nsec, ok := parseTxTimestamp(oob)
+		if !ok {
+			missing++
+			continue
+		}
+		ck, ok := txPayloadCookie(bl.errPkt[i*errBufSize : i*errBufSize+int(bl.errmsgs[i].nrecv)])
+		if !ok {
+			missing++
+			continue
+		}
+		sent, ok := bl.txRingTake(ck)
+		if !ok {
+			// Evicted by a colliding cookie (or a stamp for a reply
+			// sent before this loop started): uncorrelatable.
+			missing++
+			continue
+		}
+		dwell := sec*1e9 + nsec - sent
+		if dwell < -int64(stampSlack) || dwell > int64(stampMaxAge) {
+			// A clock step between process time and the kernel stamp;
+			// the dwell would poison the EWMA.
+			clamped++
+			missing++
+			continue
+		}
+		if dwell < 0 {
+			clamped++
+			dwell = 0
+		}
+		s.recordTxDwell(dwell)
+		stamped++
+	}
+	if stamped > 0 {
+		s.stats.kernelTx.Add(stamped)
+	}
+	if missing > 0 {
+		s.stats.kernelTxMissing.Add(missing)
+	}
+	if clamped > 0 {
+		s.stats.stampClamped.Add(clamped)
+	}
+}
+
+// resetErrHeaders restores the kernel-written header fields of the
+// error-queue receive slots before the next drain.
+//
+//repro:hotpath
+func (bl *batchLoop) resetErrHeaders() {
+	for i := 0; i < errBatch; i++ {
+		bl.errmsgs[i].hdr.Controllen = oobSize
+		bl.errmsgs[i].hdr.Flags = 0
+		bl.errmsgs[i].nrecv = 0
+	}
 }
 
 // resetHeaders restores the kernel-written in/out header fields of the
@@ -387,47 +596,4 @@ func (bl *batchLoop) prefixKey(i int) (uint64, bool) {
 		return ratelimit.PrefixKey16(&sa6.Addr), true
 	}
 	return 0, false
-}
-
-// parseRxTimestamp walks a received control-message buffer for the
-// kernel's SCM_TIMESTAMPING message and returns the software receive
-// timestamp (CLOCK_REALTIME seconds/nanoseconds). ok=false when the
-// message is absent, truncated, malformed, or carries an all-zero
-// software slot (hardware-only stamping). The walk is defensive —
-// oob comes from the kernel, but the fuzz target feeds it garbage to
-// guarantee no slice of bytes can panic the hot loop.
-//
-//repro:hotpath
-func parseRxTimestamp(oob []byte) (sec, nsec int64, ok bool) {
-	const cmsgHdr = 16 // 64-bit cmsghdr: Len uint64, Level int32, Type int32
-	for len(oob) >= cmsgHdr {
-		l := binary.LittleEndian.Uint64(oob[0:8])
-		level := int32(binary.LittleEndian.Uint32(oob[8:12]))
-		typ := int32(binary.LittleEndian.Uint32(oob[12:16]))
-		if l < cmsgHdr || l > uint64(len(oob)) {
-			return 0, 0, false
-		}
-		if level == syscall.SOL_SOCKET && typ == scmTimestamping {
-			// scm_timestamping is three timespecs; ts[0] is the
-			// software stamp. A shorter payload is a truncated cmsg.
-			if l < cmsgHdr+16 {
-				return 0, 0, false
-			}
-			sec = int64(binary.LittleEndian.Uint64(oob[16:24]))
-			nsec = int64(binary.LittleEndian.Uint64(oob[24:32]))
-			if sec == 0 && nsec == 0 {
-				return 0, 0, false
-			}
-			if nsec < 0 || nsec >= 1e9 || sec < 0 {
-				return 0, 0, false
-			}
-			return sec, nsec, true
-		}
-		adv := (l + 7) &^ 7 // CMSG_ALIGN
-		if adv >= uint64(len(oob)) {
-			return 0, 0, false
-		}
-		oob = oob[adv:]
-	}
-	return 0, 0, false
 }

@@ -27,11 +27,18 @@ import (
 // build real queue depth, so replies/s understates the batching win
 // while sys/reply still shows how much of the load arrived batched.
 func BenchmarkServeLoopback(b *testing.B) {
-	for _, dim := range []struct{ shards, batch int }{
-		{1, 1}, {1, 32}, {2, 32}, {4, 32},
+	for _, dim := range []struct {
+		shards, batch int
+		txstamp       bool
+	}{
+		{1, 1, false}, {1, 32, false}, {2, 32, false}, {4, 32, false}, {1, 32, true},
 	} {
-		b.Run(fmt.Sprintf("shards=%d/batch=%d", dim.shards, dim.batch), func(b *testing.B) {
-			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Batch: dim.batch}, dim.shards)
+		name := fmt.Sprintf("shards=%d/batch=%d", dim.shards, dim.batch)
+		if dim.txstamp {
+			name += "/txstamp"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchServeLoopback(b, ServerConfig{Clock: SystemServerClock(), Batch: dim.batch, TxStamp: dim.txstamp}, dim.shards)
 		})
 	}
 }
@@ -139,5 +146,14 @@ func benchServeLoopback(b *testing.B, cfg ServerConfig, shards int) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replies/s")
 	if st := srv.Stats(); st.Replied > 0 {
 		b.ReportMetric(float64(st.RecvCalls+st.SendCalls)/float64(st.Replied), "sys/reply")
+		if rx := st.KernelRx + st.KernelRxMissing; rx > 0 {
+			b.ReportMetric(float64(st.KernelRx)/float64(rx), "rxcov")
+		}
+		if cfg.TxStamp {
+			// Coverage against all replies: an error-queue stamp the
+			// ring failed to correlate counts against coverage just
+			// like one the kernel never looped.
+			b.ReportMetric(float64(st.KernelTx)/float64(st.Replied), "txcov")
+		}
 	}
 }

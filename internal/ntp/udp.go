@@ -45,7 +45,10 @@ func MonotonicCounter() (Counter, float64) {
 type RawExchange struct {
 	// Ta and Tf are host counter readings: Ta just before the request
 	// was passed to the network stack, Tf just after the response
-	// arrived.
+	// arrived. With kernel stamping armed (EnableKernelStamps), Ta is
+	// advanced to the kernel's error-queue TX stamp and Tf backdated to
+	// the kernel's RX cmsg stamp, so both readings reflect the wire
+	// rather than the syscall boundary.
 	Ta, Tf uint64
 	// Tb and Te are the server receive and transmit timestamps in
 	// seconds (since the NTP epoch of the current era on the live path;
@@ -55,6 +58,26 @@ type RawExchange struct {
 	// RefID changes are a route/server-change signal.
 	Stratum uint8
 	RefID   uint32
+
+	// KernelTa and KernelTf report whether Ta/Tf were corrected to
+	// kernel timestamps; when false the corresponding stamp is the
+	// userspace fallback. TaDelta and TfDelta are the measured
+	// kernel-vs-userspace deltas in seconds (>= 0; zero when the stamp
+	// was missing): TaDelta is the send-side dwell between the
+	// userspace write stamp and the kernel's transmit stamp, TfDelta
+	// the receive-side dwell between the kernel's arrival stamp and the
+	// userspace read-return stamp. These deltas ARE the host stamping
+	// noise the paper's filtering machinery otherwise has to absorb.
+	KernelTa, KernelTf bool
+	TaDelta, TfDelta   float64
+}
+
+// rxStampInfo carries the kernel RX stamp (if any) of one received
+// datagram together with the userspace wall time bracketing the read,
+// so the Tf adjustment can be computed after reply matching.
+type rxStampInfo struct {
+	kernel time.Time // kernel software RX stamp; zero when absent
+	wall   time.Time // userspace wall clock just after the read returned
 }
 
 // Client performs NTP exchanges over a PacketConn-style transport.
@@ -63,6 +86,8 @@ type Client struct {
 	counter Counter
 	timeout time.Duration
 	version uint8
+	ks      *kernelStamps // kernel SO_TIMESTAMPING state; nil = userspace stamps
+	sc      clientStampCounters
 }
 
 // NewClient returns a client that exchanges NTP packets on conn (already
@@ -73,6 +98,106 @@ func NewClient(conn net.Conn, counter Counter, timeout time.Duration) *Client {
 		timeout = 4 * time.Second
 	}
 	return &Client{conn: conn, counter: counter, timeout: timeout, version: 4}
+}
+
+// Shared kernel-stamp trust clamp, used identically by the serving RX
+// backdate, the serving TX dwell, and both client-side corrections
+// (one constant set, per the stamping contract in ARCHITECTURE.md):
+//
+//   - stampMaxAge bounds how far in the past a kernel stamp may claim
+//     to be before it is distrusted — a clock step between the kernel
+//     stamp and the userspace wall read would otherwise smear the step
+//     into a timestamp correction;
+//   - stampSlack is the tolerated negative age (the kernel stamp
+//     apparently in the future of the wall read): sub-millisecond
+//     skew is wall-clock jitter and is clamped to zero, anything
+//     larger is a step and the stamp is distrusted;
+//   - txAdvanceMax bounds the Transmit forward-dating applied from the
+//     measured TX-dwell EWMA — the dwell is a *prediction* for the
+//     packet being stamped (unlike the RX backdate, which is measured
+//     per packet), so it gets a far tighter cap.
+//
+// Every clamp hit is counted (Stats.StampClamped on the serving path,
+// ClientStampStats.Clamped on the client path) and surfaced as the
+// ntp_stamp_clamped_total metric — a clamping host has a stepping or
+// badly skewed clock, which is worth an alert, not a silent counter.
+const (
+	stampMaxAge  = time.Second
+	stampSlack   = time.Millisecond
+	txAdvanceMax = time.Millisecond
+)
+
+// clientStampCounters is the atomic backing of ClientStampStats. The
+// exchange path is single-goroutine per client, but stats are read by
+// metric scrapes, so every field is atomic.
+type clientStampCounters struct {
+	txStamped atomic.Uint64
+	txMissing atomic.Uint64
+	rxStamped atomic.Uint64
+	rxMissing atomic.Uint64
+	clamped   atomic.Uint64
+	taDelta   atomic.Uint64 // float64 bits of the Ta-delta EWMA (seconds)
+	tfDelta   atomic.Uint64 // float64 bits of the Tf-delta EWMA (seconds)
+}
+
+// ClientStampStats is a snapshot of a client's kernel-stamp coverage:
+// how many exchanges got their Ta from the error-queue TX stamp and
+// their Tf from the RX cmsg stamp, how many fell back to userspace
+// stamps, and the EWMA of the kernel-vs-userspace deltas (the measured
+// host stamping noise, in seconds).
+type ClientStampStats struct {
+	TxStamped uint64 // exchanges with Ta from the kernel TX stamp
+	TxMissing uint64 // exchanges that fell back to the userspace Ta
+	RxStamped uint64 // exchanges with Tf from the kernel RX stamp
+	RxMissing uint64 // exchanges that fell back to the userspace Tf
+	Clamped   uint64 // kernel stamps rejected or clipped by the trust clamp
+	TaDelta   float64
+	TfDelta   float64
+}
+
+// StampStats returns the client's kernel-stamp coverage counters. All
+// zeros when kernel stamping was never armed.
+func (c *Client) StampStats() ClientStampStats {
+	return ClientStampStats{
+		TxStamped: c.sc.txStamped.Load(),
+		TxMissing: c.sc.txMissing.Load(),
+		RxStamped: c.sc.rxStamped.Load(),
+		RxMissing: c.sc.rxMissing.Load(),
+		Clamped:   c.sc.clamped.Load(),
+		TaDelta:   math.Float64frombits(c.sc.taDelta.Load()),
+		TfDelta:   math.Float64frombits(c.sc.tfDelta.Load()),
+	}
+}
+
+// ewmaUpdate folds one sample into a float64-bits EWMA cell with
+// alpha 1/8, seeding from the first sample.
+func ewmaUpdate(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := v
+		if old != 0 {
+			cur := math.Float64frombits(old)
+			next = cur + (v-cur)/8
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EnableKernelStamps arms kernel SO_TIMESTAMPING on the client socket
+// (Linux, *net.UDPConn transports): software TX stamps read back from
+// the socket error queue move Ta to the kernel's transmit instant, and
+// software RX stamps from the receive cmsg move Tf to the kernel's
+// arrival instant — both stamps shed the scheduler-wakeup dwell the
+// paper models as host noise. period is the counter's nominal period
+// in seconds per unit (needed to convert wall-time deltas into counter
+// units). Returns whether stamping was armed; false (other platforms,
+// non-UDP transports, old kernels) leaves the userspace stamps in
+// place, and even when armed every exchange falls back per-stamp when
+// the kernel omits one (counted in StampStats).
+func (c *Client) EnableKernelStamps(period float64) bool {
+	return c.armKernelStamps(period)
 }
 
 // errShortWrite is returned when the transport accepts a partial packet.
@@ -101,6 +226,11 @@ func (c *Client) Exchange() (RawExchange, error) {
 		return raw, fmt.Errorf("ntp: set deadline: %w", err)
 	}
 
+	// taWall brackets the write on the wall clock so the kernel TX stamp
+	// (CLOCK_REALTIME) can be compared against it; it is only read when
+	// kernel stamping is armed, keeping the userspace-only path at one
+	// counter read around the syscall.
+	taWall := c.stampWall()
 	raw.Ta = c.counter()
 	n, err := c.conn.Write(buf[:])
 	if err != nil {
@@ -112,7 +242,7 @@ func (c *Client) Exchange() (RawExchange, error) {
 
 	var rbuf [512]byte
 	for {
-		n, err := c.conn.Read(rbuf[:])
+		n, rx, err := c.readReply(rbuf[:])
 		tf := c.counter()
 		if err != nil {
 			return raw, fmt.Errorf("ntp: receive: %w", err)
@@ -132,6 +262,7 @@ func (c *Client) Exchange() (RawExchange, error) {
 		raw.Te = resp.Transmit.Seconds()
 		raw.Stratum = resp.Stratum
 		raw.RefID = resp.RefID
+		c.applyKernelStamps(&raw, req.Transmit, taWall, rx)
 		return raw, nil
 	}
 }
@@ -193,6 +324,20 @@ type ServerConfig struct {
 	// above 64 are clamped. Platforms without recvmmsg — and transports
 	// that are not *net.UDPConn — always serve per-packet.
 	Batch int
+
+	// TxStamp arms SOF_TIMESTAMPING_TX_SOFTWARE on batched sockets: the
+	// kernel loops a software transmit stamp for every reply back on the
+	// socket error queue, the serving loop drains it (batched, non-
+	// blocking, allocation-free) and correlates stamps to replies by the
+	// embedded Transmit cookie, measuring the userspace→kernel TX dwell
+	// distribution (Stats.TxDwell*). The serving loop then forward-dates
+	// each reply's Transmit field by the clamped dwell EWMA, so clients
+	// see NIC-adjacent departure the way RX stamps give them NIC-
+	// adjacent arrival. Off by default: unlike the RX backdate — a
+	// per-packet measurement — the TX advance is a prediction, and
+	// operators should opt in after looking at the dwell distribution.
+	// Ignored by the per-packet fallback loop.
+	TxStamp bool
 }
 
 // Stats is a point-in-time snapshot of a server's request counters,
@@ -224,7 +369,39 @@ type Stats struct {
 	// neither counts under these.
 	KernelRx        uint64
 	KernelRxMissing uint64
+
+	// KernelTx counts replies whose kernel TX stamp came back on the
+	// error queue and correlated to a recorded send (their dwell fed the
+	// EWMA); KernelTxMissing counts error-queue packets that could not
+	// be used (no cmsg stamp, uncorrelatable cookie, or a dwell outside
+	// the trust clamp). Both stay zero unless ServerConfig.TxStamp armed
+	// TX stamping on a batched socket.
+	KernelTx        uint64
+	KernelTxMissing uint64
+
+	// StampClamped counts kernel timestamps (RX and TX alike) rejected
+	// or clipped by the shared trust clamp [−stampSlack, stampMaxAge].
+	// A steadily increasing value means the host clock is stepping or
+	// badly skewed relative to the kernel's stamping clock.
+	StampClamped uint64
+
+	// TxDwellEWMA is the current userspace→kernel TX dwell estimate
+	// (EWMA, alpha 1/16): how long after the serving loop stamped
+	// Transmit the kernel actually handed the reply to the driver. This
+	// is the amount by which TxStamp forward-dates Transmit, before the
+	// txAdvanceMax clamp. TxDwell is the dwell histogram as cumulative
+	// counts per TxDwellBounds bucket (the last bucket is +Inf), and
+	// TxDwellSum the total observed dwell in seconds.
+	TxDwellEWMA time.Duration
+	TxDwell     [len(TxDwellBounds) + 1]uint64
+	TxDwellSum  float64
 }
+
+// TxDwellBounds are the upper bounds, in seconds, of the TX dwell
+// histogram buckets (a final +Inf bucket is implicit): 1 µs to 1 s in
+// decades, matching the range between a hot send path and the
+// stampMaxAge trust bound.
+var TxDwellBounds = [7]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
 
 // Dropped is the total of all protocol drop reasons (rate-limited
 // packets are counted separately: they may be perfectly well-formed).
@@ -244,6 +421,61 @@ type counters struct {
 	sendCalls       atomic.Uint64
 	kernelRx        atomic.Uint64
 	kernelRxMissing atomic.Uint64
+	kernelTx        atomic.Uint64
+	kernelTxMissing atomic.Uint64
+	stampClamped    atomic.Uint64
+
+	// txDwellEWMA holds the dwell EWMA in nanoseconds; txDwellSum the
+	// float64 bits of the cumulative dwell in seconds; txDwellBuckets
+	// the non-cumulative histogram counts (bucket i covers dwell ≤
+	// TxDwellBounds[i]; the last is the overflow bucket).
+	txDwellEWMA    atomic.Int64
+	txDwellSum     atomic.Uint64
+	txDwellBuckets [len(TxDwellBounds) + 1]atomic.Uint64
+}
+
+// recordTxDwell folds one measured userspace→kernel TX dwell (in
+// nanoseconds, already clamp-checked by the caller) into the EWMA and
+// the histogram.
+func (s *Server) recordTxDwell(nanos int64) {
+	for {
+		old := s.stats.txDwellEWMA.Load()
+		next := nanos
+		if old != 0 {
+			next = old + (nanos-old)/16
+		}
+		if s.stats.txDwellEWMA.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	sec := float64(nanos) / 1e9
+	for {
+		old := s.stats.txDwellSum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sec)
+		if s.stats.txDwellSum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	i := 0
+	for i < len(TxDwellBounds) && sec > TxDwellBounds[i] {
+		i++
+	}
+	s.stats.txDwellBuckets[i].Add(1)
+}
+
+// txAdvance returns the Transmit forward-dating the serving loop should
+// apply: the dwell EWMA clamped to [0, txAdvanceMax]. Zero until the
+// first TX stamp correlates (and always zero when TxStamp is off — the
+// EWMA never moves).
+func (s *Server) txAdvance() time.Duration {
+	d := time.Duration(s.stats.txDwellEWMA.Load())
+	if d <= 0 {
+		return 0
+	}
+	if d > txAdvanceMax {
+		return txAdvanceMax
+	}
+	return d
 }
 
 // Server is a minimal NTP responder. It answers client-mode requests
@@ -254,10 +486,11 @@ type counters struct {
 // may serve many sockets concurrently (see ListenShards); the counters
 // are shared and atomic.
 type Server struct {
-	sample SampleClock
-	limit  *ratelimit.Limiter
-	batch  int
-	stats  counters
+	sample  SampleClock
+	limit   *ratelimit.Limiter
+	batch   int
+	txStamp bool
+	stats   counters
 }
 
 // NewServer constructs a server; nil or zero fields take defaults.
@@ -289,12 +522,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return s
 		}
 	}
-	return &Server{sample: sample, limit: cfg.Limit, batch: cfg.Batch}, nil
+	return &Server{sample: sample, limit: cfg.Limit, batch: cfg.Batch, txStamp: cfg.TxStamp}, nil
 }
 
 // Stats returns a snapshot of the request counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:        s.stats.requests.Load(),
 		Replied:         s.stats.replied.Load(),
 		Short:           s.stats.short.Load(),
@@ -306,7 +539,18 @@ func (s *Server) Stats() Stats {
 		SendCalls:       s.stats.sendCalls.Load(),
 		KernelRx:        s.stats.kernelRx.Load(),
 		KernelRxMissing: s.stats.kernelRxMissing.Load(),
+		KernelTx:        s.stats.kernelTx.Load(),
+		KernelTxMissing: s.stats.kernelTxMissing.Load(),
+		StampClamped:    s.stats.stampClamped.Load(),
+		TxDwellEWMA:     time.Duration(s.stats.txDwellEWMA.Load()),
+		TxDwellSum:      math.Float64frombits(s.stats.txDwellSum.Load()),
 	}
+	var cum uint64
+	for i := range st.TxDwell {
+		cum += s.stats.txDwellBuckets[i].Load()
+		st.TxDwell[i] = cum
+	}
+	return st
 }
 
 // Serve answers requests on pc until the connection is closed or a
@@ -358,7 +602,7 @@ func (s *Server) servePacket(pc net.PacketConn) error {
 			s.stats.rateLimited.Add(1)
 			continue
 		}
-		if !s.handlePacket(buf[:n], &out, 0) {
+		if !s.handlePacket(buf[:n], &out, 0, 0) {
 			continue
 		}
 		s.stats.sendCalls.Add(1)
@@ -399,11 +643,14 @@ func (s *Server) servePacket(pc net.PacketConn) error {
 // so clients measure from NIC-adjacent arrival rather than from the
 // scheduler wakeup that dequeued the packet — the paper's point that
 // stamps taken closer to the wire carry less host noise, applied to
-// the serving side. Transmit keeps the undated sample, so the visible
-// Receive→Transmit dwell is the genuine queue + processing time.
+// the serving side. Symmetrically, txAdvance is the predicted
+// userspace→kernel send dwell (zero when TX stamping is off or not
+// yet converged): the reply's Transmit stamp is forward-dated by it,
+// so the visible Receive→Transmit dwell brackets the true
+// wire-to-wire residence instead of the stamp-to-stamp one.
 //
 //repro:hotpath
-func (s *Server) handlePacket(in []byte, out *[PacketSize]byte, rxAge time.Duration) bool {
+func (s *Server) handlePacket(in []byte, out *[PacketSize]byte, rxAge, txAdvance time.Duration) bool {
 	if len(in) < PacketSize {
 		s.stats.short.Add(1)
 		return false
@@ -441,6 +688,10 @@ func (s *Server) handlePacket(in []byte, out *[PacketSize]byte, rxAge time.Durat
 	if rxAge > 0 {
 		recv = recv.Add(-rxAge)
 	}
+	xmt := rx.Time
+	if txAdvance > 0 {
+		xmt = xmt.Add(txAdvance)
+	}
 	resp := Packet{
 		Leap:      rx.Leap,
 		Version:   ver,
@@ -454,7 +705,7 @@ func (s *Server) handlePacket(in []byte, out *[PacketSize]byte, rxAge time.Durat
 		RefTime:   rx.Time,
 		Origin:    req.Transmit,
 		Receive:   recv,
-		Transmit:  rx.Time,
+		Transmit:  xmt,
 	}
 	*out = resp.Marshal()
 	return true

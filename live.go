@@ -22,6 +22,13 @@ type LiveOptions struct {
 	// 1 ns (the monotonic counter's resolution); PollPeriod is derived
 	// from Poll.
 	Clock Options
+	// NoKernelStamps disables kernel SO_TIMESTAMPING on the client
+	// socket. By default (Linux, UDP) every exchange stamps Ta from the
+	// kernel's error-queue transmit stamp and Tf from the RX cmsg
+	// arrival stamp, falling back per-stamp to userspace readings —
+	// strictly less host noise, counted in StampStats. Set this to keep
+	// the historical pure-userspace stamping.
+	NoKernelStamps bool
 }
 
 // Live runs the full TSC-NTP pipeline against a real NTP server over
@@ -62,9 +69,13 @@ func DialLive(opts LiveOptions) (*Live, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tscclock: dial %s: %w", opts.Server, err)
 	}
+	client := ntp.NewClient(conn, counter, opts.Timeout)
+	if !opts.NoKernelStamps {
+		client.EnableKernelStamps(clockOpts.NominalPeriod)
+	}
 	return &Live{
 		clock:   clock,
-		client:  ntp.NewClient(conn, counter, opts.Timeout),
+		client:  client,
 		conn:    conn,
 		counter: counter,
 		period:  clockOpts.NominalPeriod,
@@ -78,6 +89,11 @@ func (l *Live) Clock() *Clock { return l.clock }
 // Counter reads the raw host counter, for timestamping events that will
 // later be converted with the calibrated clock.
 func (l *Live) Counter() uint64 { return l.counter() }
+
+// StampStats returns the client's kernel-stamp coverage and measured
+// kernel-vs-userspace stamp deltas (all zeros when kernel stamping is
+// off or unsupported).
+func (l *Live) StampStats() ntp.ClientStampStats { return l.client.StampStats() }
 
 // Step performs one NTP exchange and feeds it to the clock, including
 // the server's identity for server-change detection. A failed exchange

@@ -32,6 +32,13 @@ type MultiLiveOptions struct {
 	// defaults.
 	Clock Options
 
+	// NoKernelStamps disables kernel SO_TIMESTAMPING on the upstream
+	// sockets (see LiveOptions.NoKernelStamps). Off by default: every
+	// dialed UDP upstream gets kernel TX/RX stamps with per-exchange
+	// userspace fallback, and the per-server deltas surface in
+	// UpstreamStates and the relay metrics.
+	NoKernelStamps bool
+
 	// MinServers is the dial-time quorum: DialMultiLive succeeds when at
 	// least this many servers are reachable, and the rest start in a
 	// reconnecting state — re-dialed (with fresh name resolution) on
@@ -82,6 +89,44 @@ type upstream struct {
 	consecFails  int
 	dials        uint64
 	dialFailures uint64
+
+	// Kernel-stamp view of this slot, updated outside the mutex from
+	// the polling goroutine via the client's own atomic counters and
+	// folded into UpstreamStates under mu. kernelTa/kernelTf/stampMiss
+	// aggregate across redials (the client's counters reset with each
+	// fresh socket).
+	kernelTa  uint64
+	kernelTf  uint64
+	stampMiss uint64
+	taDelta   float64 // EWMA of the kernel-vs-userspace Ta delta (s)
+	tfDelta   float64 // EWMA of the kernel-vs-userspace Tf delta (s)
+}
+
+// noteStamps folds one successful exchange's kernel-stamp outcome into
+// the slot's aggregate view (alpha-1/8 EWMAs, seeded on first sample).
+func (up *upstream) noteStamps(raw ntp.RawExchange) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if raw.KernelTa {
+		up.kernelTa++
+		if up.taDelta == 0 {
+			up.taDelta = raw.TaDelta
+		} else {
+			up.taDelta += (raw.TaDelta - up.taDelta) / 8
+		}
+	} else {
+		up.stampMiss++
+	}
+	if raw.KernelTf {
+		up.kernelTf++
+		if up.tfDelta == 0 {
+			up.tfDelta = raw.TfDelta
+		} else {
+			up.tfDelta += (raw.TfDelta - up.tfDelta) / 8
+		}
+	} else {
+		up.stampMiss++
+	}
 }
 
 // redialAfterFailures is how many consecutive exchange failures on a
@@ -108,6 +153,7 @@ type MultiLive struct {
 	poll    time.Duration
 	timeout time.Duration
 	dial    func(string) (net.Conn, error)
+	kstamps bool // arm kernel stamps on dialed upstream sockets
 	closed  atomic.Bool
 }
 
@@ -182,6 +228,7 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 		poll:    poll,
 		timeout: opts.Timeout,
 		dial:    dial,
+		kstamps: !opts.NoKernelStamps,
 	}
 	connected := 0
 	var firstErr error
@@ -192,6 +239,9 @@ func dialMultiLive(opts MultiLiveOptions, dial func(string) (net.Conn, error)) (
 		case err == nil:
 			up.conn = conn
 			up.client = ntp.NewClient(conn, counter, opts.Timeout)
+			if m.kstamps {
+				up.client.EnableKernelStamps(m.period)
+			}
 			up.dials++
 			connected++
 		default:
@@ -243,6 +293,9 @@ func (m *MultiLive) ensureClient(up *upstream) (*ntp.Client, error) {
 	}
 	up.conn = conn
 	up.client = ntp.NewClient(conn, m.counter, m.timeout)
+	if m.kstamps {
+		up.client.EnableKernelStamps(m.period)
+	}
 	up.dials++
 	up.consecFails = 0
 	return up.client, nil
@@ -284,6 +337,9 @@ func (m *MultiLive) Step(k int) (EnsembleStatus, error) {
 	if err != nil {
 		return EnsembleStatus{}, err
 	}
+	if m.kstamps {
+		m.ups[k].noteStamps(raw)
+	}
 	return m.ens.ProcessNTPExchangeFrom(k, raw.Ta, raw.Tf, raw.Tb, raw.Te, raw.RefID, raw.Stratum)
 }
 
@@ -302,6 +358,18 @@ type UpstreamState struct {
 	// success on the current socket; at redialAfterFailures the socket
 	// is torn down for a fresh dial.
 	ConsecutiveFailures int
+
+	// KernelTa and KernelTf count exchanges whose client send/receive
+	// stamps came from kernel SO_TIMESTAMPING (aggregated across
+	// redials); StampMisses counts per-stamp fallbacks to userspace
+	// readings. TaDelta and TfDelta are EWMAs of the measured
+	// kernel-vs-userspace stamp deltas in seconds — the client-side
+	// stamping noise shed by kernel timestamps, per server.
+	KernelTa    uint64
+	KernelTf    uint64
+	StampMisses uint64
+	TaDelta     float64
+	TfDelta     float64
 }
 
 // UpstreamStates returns the connection view of every server slot, in
@@ -316,6 +384,11 @@ func (m *MultiLive) UpstreamStates() []UpstreamState {
 			Dials:               up.dials,
 			DialFailures:        up.dialFailures,
 			ConsecutiveFailures: up.consecFails,
+			KernelTa:            up.kernelTa,
+			KernelTf:            up.kernelTf,
+			StampMisses:         up.stampMiss,
+			TaDelta:             up.taDelta,
+			TfDelta:             up.tfDelta,
 		}
 		up.mu.Unlock()
 	}

@@ -70,6 +70,18 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 		sendCalls := fold(reg.Counter("ntp_send_syscalls_total", "Send syscalls issued by the serving loops (sendmmsg answers a whole batch per call)."))
 		kernelRx := fold(reg.Counter("ntp_kernel_rx_stamps_total", "Batched datagrams carrying a usable kernel SO_TIMESTAMPING RX timestamp."))
 		kernelRxMissing := fold(reg.Counter("ntp_kernel_rx_missing_total", "Batched datagrams served without a usable kernel RX timestamp."))
+		kernelTx := fold(reg.Counter("ntp_kernel_tx_stamps_total", "Replies whose kernel TX stamp came back on the error queue and correlated to a recorded send."))
+		kernelTxMissing := fold(reg.Counter("ntp_kernel_tx_missing_total", "Error-queue entries without a usable, correlatable TX stamp."))
+		stampClamped := fold(reg.Counter("ntp_stamp_clamped_total", "Kernel timestamps (RX and TX) rejected or clipped by the shared trust clamp — a rising value means the host clock is stepping."))
+		txDwell := reg.Histogram("ntp_tx_dwell_seconds", "Measured userspace-to-kernel TX dwell per stamped reply.", ntp.TxDwellBounds[:]...)
+		reg.GaugeFunc("ntp_tx_dwell_ewma_seconds", "Current TX dwell EWMA: the forward-dating the serving loop applies to Transmit when -txstamp is on (before the clamp).", func() float64 {
+			return srv.Stats().TxDwellEWMA.Seconds()
+		})
+		// The TX dwell histogram folds per scrape: ntp.Stats carries
+		// cumulative-per-bucket counts, so the per-bucket increments are
+		// double deltas (across buckets, then across scrapes).
+		var lastTxBuckets [len(ntp.TxDwellBounds) + 1]uint64
+		var lastTxSum float64
 		// The average receive batch depth per syscall is the lever the
 		// batched loop exists to pull; near 1.0 it means the socket
 		// never builds queue depth and the loop degenerates to
@@ -96,6 +108,22 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 			sendCalls(st.SendCalls)
 			kernelRx(st.KernelRx)
 			kernelRxMissing(st.KernelRxMissing)
+			kernelTx(st.KernelTx)
+			kernelTxMissing(st.KernelTxMissing)
+			stampClamped(st.StampClamped)
+			var prev uint64
+			for i := range st.TxDwell {
+				per := st.TxDwell[i] - prev
+				prev = st.TxDwell[i]
+				if per > lastTxBuckets[i] {
+					txDwell.AddBucket(i, per-lastTxBuckets[i])
+					lastTxBuckets[i] = per
+				}
+			}
+			if st.TxDwellSum > lastTxSum {
+				txDwell.AddSum(st.TxDwellSum - lastTxSum)
+				lastTxSum = st.TxDwellSum
+			}
 		})
 	}
 
@@ -152,13 +180,20 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 		connected := reg.GaugeVec("tscclock_upstream_connected", "1 while the upstream slot holds a socket.", serverLabel...)
 		dials := reg.CounterVec("tscclock_upstream_dials_total", "Successful upstream dials (beyond 1 per slot: reconnections).", serverLabel...)
 		dialFailures := reg.CounterVec("tscclock_upstream_dial_failures_total", "Failed upstream dial attempts.", serverLabel...)
+		kernelTa := reg.CounterVec("tscclock_upstream_kernel_ta_total", "Exchanges whose client send stamp (Ta) came from the kernel error-queue TX stamp.", serverLabel...)
+		kernelTf := reg.CounterVec("tscclock_upstream_kernel_tf_total", "Exchanges whose client receive stamp (Tf) came from the kernel RX cmsg stamp.", serverLabel...)
+		stampMisses := reg.CounterVec("tscclock_upstream_stamp_misses_total", "Per-stamp fallbacks to userspace readings on successful exchanges.", serverLabel...)
+		taDelta := reg.GaugeVec("tscclock_upstream_ta_delta_seconds", "EWMA of the kernel-vs-userspace send-stamp delta: the client-side TX stamping noise shed by kernel timestamps.", serverLabel...)
+		tfDelta := reg.GaugeVec("tscclock_upstream_tf_delta_seconds", "EWMA of the kernel-vs-userspace receive-stamp delta: the client-side RX stamping noise shed by kernel timestamps.", serverLabel...)
 
 		// Resolve the per-server cells once: server count is fixed for
 		// the life of a MultiLive.
 		n := len(ml.ups)
 		type serverCells struct {
 			weight, asymHint, asymCorr, selected, penalty, connected *metrics.Gauge
+			taDelta, tfDelta                                         *metrics.Gauge
 			dials, dialFailures                                      func(uint64)
+			kernelTa, kernelTf, stampMisses                          func(uint64)
 		}
 		cells := make([]serverCells, n)
 		for k := 0; k < n; k++ {
@@ -170,8 +205,13 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 				selected:     selected.With(lv),
 				penalty:      penalty.With(lv),
 				connected:    connected.With(lv),
+				taDelta:      taDelta.With(lv),
+				tfDelta:      tfDelta.With(lv),
 				dials:        fold(dials.With(lv)),
 				dialFailures: fold(dialFailures.With(lv)),
+				kernelTa:     fold(kernelTa.With(lv)),
+				kernelTf:     fold(kernelTf.With(lv)),
+				stampMisses:  fold(stampMisses.With(lv)),
 			}
 		}
 		reg.OnScrape(func() {
@@ -205,6 +245,11 @@ func NewRelayMetrics(cfg RelayMetricsConfig) *metrics.Registry {
 					}
 					cells[k].dials(ups[k].Dials)
 					cells[k].dialFailures(ups[k].DialFailures)
+					cells[k].kernelTa(ups[k].KernelTa)
+					cells[k].kernelTf(ups[k].KernelTf)
+					cells[k].stampMisses(ups[k].StampMisses)
+					cells[k].taDelta.Set(ups[k].TaDelta)
+					cells[k].tfDelta.Set(ups[k].TfDelta)
 				}
 			}
 			foldMu.Unlock()

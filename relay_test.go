@@ -167,7 +167,18 @@ func parseExposition(t *testing.T, body string) map[string]bool {
 			name = series[:br]
 		}
 		if !typed[name] {
-			t.Fatalf("line %d: sample %q precedes its # TYPE", ln+1, name)
+			// Histogram families type the base name while their samples
+			// carry the conventional suffixes.
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if s, ok := strings.CutSuffix(name, suf); ok {
+					base = s
+					break
+				}
+			}
+			if !typed[base] {
+				t.Fatalf("line %d: sample %q precedes its # TYPE", ln+1, name)
+			}
 		}
 		seen[name] = true
 	}

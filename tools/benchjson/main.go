@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON snapshot, so performance numbers land in the
+// repo as data rather than prose. It reads the benchmark stream on
+// stdin and writes BENCH_<date>.json (override with -o):
+//
+//	go test ./internal/ntp/ -run xxx -bench BenchmarkServeLoopback -benchmem | go run ./tools/benchjson
+//	make bench-json
+//
+// Every `Benchmark*` result line is parsed into its iteration count
+// and the full metric set — the standard ns/op, B/op, allocs/op plus
+// any b.ReportMetric units the benchmark emits (replies/s, sys/reply,
+// rxcov/txcov stamp coverage, ...). Header lines (goos/goarch/pkg/cpu)
+// are carried into the snapshot so a BENCH file is self-describing;
+// comparing two is a jq one-liner instead of a diff of aligned
+// columns.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole snapshot.
+type Report struct {
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark result lines on stdin")
+	}
+	rep.Date = time.Now().Format("2006-01-02")
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), path)
+}
+
+// parseBench consumes a `go test -bench` stream. The line grammar is
+// stable across Go releases: a result line is the benchmark name, the
+// iteration count, then (value, unit) pairs; everything else is either
+// a known header (goos/goarch/pkg/cpu) or ignorable chrome (PASS, ok,
+// test log output).
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseResultLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", line, err)
+		}
+		b.Pkg = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+// parseResultLine splits one result line into name, iterations, and
+// metric pairs.
+func parseResultLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	// The name carries a -GOMAXPROCS suffix (Benchmark/sub-8); strip
+	// it so the name is stable across machines.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd value/unit pairing")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}
